@@ -1,0 +1,42 @@
+"""Benchmark harness configuration.
+
+Every module regenerates one table or figure of the paper.  The
+pytest-benchmark timings measure the *simulator* (wall time of the
+reproduction); the scientific output — the reproduced rows next to the
+paper's values — is printed by each benchmark so that
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces the full experiment report.
+
+Set ``REPRO_FULL=1`` to run the paper-scale configurations (class B,
+hundreds of pingpong repeats); the default keeps a full sweep under a few
+minutes.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def fast_mode() -> bool:
+    return not FULL
+
+
+@pytest.fixture(scope="session")
+def fast():
+    return fast_mode()
+
+
+def _report(result) -> None:
+    print()
+    print("=" * 78)
+    print(result.text)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Prints an experiment's rendered text (visible with ``-s``)."""
+    return _report

@@ -1,0 +1,105 @@
+"""Benches for the beyond-the-paper extensions (§2.1.5-6 models, §5
+future work): MPICH-G2's parallel streams, topology-aware broadcast on
+four sites, and high-speed local fabrics."""
+
+import dataclasses
+
+import pytest
+
+from repro.impls import get_implementation
+from repro.mpi import MpiJob
+from repro.net import Network, build_ray2mesh_testbed
+from repro.tcp import TUNED_SYSCTLS
+from repro.units import Gbps, MB, msec, usec
+
+
+def test_parallel_streams_cold_path(benchmark, fast, report):
+    """MPICH-G2's striping on a cold 11.6 ms path, 32 MB message."""
+    from repro.net import build_pair_testbed
+
+    def first_transfer(streams):
+        impl = dataclasses.replace(
+            get_implementation("mpichg2").with_eager_threshold(65 * MB),
+            parallel_streams=streams,
+        )
+        net = build_pair_testbed(nodes_per_site=1)
+        placement = [net.clusters["rennes"].nodes[0], net.clusters["nancy"].nodes[0]]
+        job = MpiJob(net, impl, placement, sysctls=TUNED_SYSCTLS)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(1, nbytes=32 * MB)
+            else:
+                yield from ctx.comm.recv(0)
+                return ctx.wtime()
+
+        return job.run(program).returns[1]
+
+    def run():
+        return {k: first_transfer(k) for k in (1, 2, 4, 8)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\ncold 32 MB transfer by stream count (s):",
+          {k: round(v, 2) for k, v in results.items()})
+    assert results[4] < 0.7 * results[1]
+    assert results[2] < results[1]
+
+
+def test_topology_aware_bcast_four_sites(benchmark, fast, report):
+    """Hierarchical vs binomial broadcast latency over the four-site
+    ray2mesh testbed (one WAN hop instead of two or more)."""
+
+    def bcast_time(impl_name):
+        net = build_ray2mesh_testbed(nodes_per_site=8)
+        placement = [n for s in sorted(net.clusters) for n in net.clusters[s].nodes]
+        impl = get_implementation(impl_name)
+        job = MpiJob(net, impl, placement, sysctls=TUNED_SYSCTLS)
+
+        def program(ctx):
+            t0 = ctx.wtime()
+            yield from ctx.comm.bcast(None, nbytes=1024, root=0)
+            return ctx.wtime() - t0
+
+        return max(job.run(program).returns)
+
+    def run():
+        return bcast_time("mpich2"), bcast_time("mpichvmi")
+
+    binomial, hierarchical = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n1 kB bcast over 4 sites: binomial {binomial * 1e3:.1f} ms, "
+          f"hierarchical {hierarchical * 1e3:.1f} ms")
+    assert hierarchical < 0.7 * binomial
+
+
+def test_myrinet_local_fabric(benchmark, fast, report):
+    """§5: 'using these networks for local communications can be
+    efficient' — isolate the fabric: MPICH-Madeleine on a Myrinet
+    cluster, with the native driver vs forced onto TCP, for a
+    bandwidth-heavy kernel (BT's 146 kB faces; latency-pipelined LU
+    would barely notice, which is itself §5's caveat about keeping the
+    gateway overhead low)."""
+    from repro.npb import run_npb
+
+    def bt_time(impl):
+        net = Network("hetero")
+        cluster = net.add_cluster(
+            "rennes", intra_rtt=usec(58), fabric="myrinet",
+            fabric_bps=Gbps(2), fabric_rtt=usec(16),
+        )
+        cluster.add_nodes(16, gflops=1.1)
+        return run_npb(
+            "bt", "A" if fast else "B", net, impl, cluster.nodes,
+            sysctls=TUNED_SYSCTLS, sample_iters=10,
+            honor_known_failures=False,
+        ).time
+
+    madeleine = get_implementation("madeleine").with_eager_threshold(65 * MB)
+    tcp_only = dataclasses.replace(madeleine, native_fabrics=frozenset())
+
+    def run():
+        return bt_time(madeleine), bt_time(tcp_only)
+
+    native, over_tcp = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nBT on a 16-node Myrinet cluster (MPICH-Madeleine): "
+          f"native fabric {native:.1f}s vs TCP {over_tcp:.1f}s")
+    assert native < over_tcp

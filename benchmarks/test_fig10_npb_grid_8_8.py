@@ -1,0 +1,20 @@
+"""Bench: Fig. 10 — NPB on 8+8 grid nodes, relative to MPICH2."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig10(benchmark, fast, report):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig10",), kwargs={"fast": fast},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    rows = {r["bench"]: r for r in result.rows}
+    # GridMPI's collective optimisations dominate FT and IS.
+    assert rows["ft"]["gridmpi"] > 1.3
+    assert rows["is"]["gridmpi"] >= 1.0
+    # MPICH2 holds its own on LU.
+    assert rows["lu"]["gridmpi"] <= 1.1
+    # MPICH-Madeleine cannot finish BT/SP on the grid (paper §4.3).
+    assert rows["bt"]["madeleine"] == 0.0
+    assert rows["sp"]["madeleine"] == 0.0

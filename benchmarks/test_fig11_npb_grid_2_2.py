@@ -1,0 +1,15 @@
+"""Bench: Fig. 11 — NPB on 2+2 grid nodes, relative to MPICH2."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig11(benchmark, fast, report):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig11",), kwargs={"fast": fast},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    rows = {r["bench"]: r for r in result.rows}
+    # Same qualitative ordering as Fig. 10 at the smaller scale.
+    assert rows["ft"]["gridmpi"] >= 1.0
+    assert rows["bt"]["madeleine"] == 0.0

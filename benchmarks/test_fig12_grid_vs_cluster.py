@@ -1,0 +1,18 @@
+"""Bench: Fig. 12 — 8+8 grid nodes vs 16 single-cluster nodes."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig12(benchmark, fast, report):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig12",), kwargs={"fast": fast},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    rows = {r["bench"]: r for r in result.rows}
+    # EP barely notices the WAN; small-message CG/MG are hit hardest.
+    assert rows["ep"]["gridmpi"] > 0.8
+    assert rows["cg"]["gridmpi"] < 0.6
+    assert rows["mg"]["gridmpi"] < 0.8
+    # Big-message LU holds up much better than CG.
+    assert rows["lu"]["mpich2"] > rows["cg"]["mpich2"]

@@ -1,0 +1,22 @@
+"""Bench: Fig. 13 — 8+8 grid nodes vs 4 single-cluster nodes (speedup)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig13(benchmark, fast, report):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig13",), kwargs={"fast": fast},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    rows = {r["bench"]: r for r in result.rows}
+    # The paper's argument for grids: everything gains from 4 -> 16 nodes
+    # across the WAN at class B. The fast (class A) configuration exempts
+    # the latency-bound CG/IS, which only break even at class B.
+    gainers = result.rows if not fast else [
+        r for r in result.rows if r["bench"] in ("ep", "mg", "lu", "sp", "bt", "ft")
+    ]
+    for row in gainers:
+        assert row["gridmpi"] > 1.0, row["bench"]
+    assert rows["lu"]["gridmpi"] > 2.0
+    assert rows["cg"]["gridmpi"] < rows["lu"]["gridmpi"]

@@ -1,0 +1,16 @@
+"""Bench: Fig. 3 — the default-parameter bandwidth collapse on the grid."""
+
+from repro.experiments import run_experiment
+from repro.units import MB
+
+
+def test_fig3(benchmark, fast, report):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig3",), kwargs={"fast": fast},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    big = next(r for r in result.rows if r["nbytes"] >= 8 * MB)
+    for label, bw in big.items():
+        if label != "nbytes":
+            assert bw <= 130, label  # the paper: nothing above 120 Mbps

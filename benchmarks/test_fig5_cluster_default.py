@@ -1,0 +1,16 @@
+"""Bench: Fig. 5 — cluster bandwidth with default parameters."""
+
+from repro.experiments import run_experiment
+from repro.units import MB
+
+
+def test_fig5(benchmark, fast, report):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig5",), kwargs={"fast": fast},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    big = next(r for r in result.rows if r["nbytes"] == 64 * MB)
+    for label, bw in big.items():
+        if label != "nbytes":
+            assert 800 <= bw <= 945, label  # all reach the 940 Mbps goodput

@@ -1,0 +1,18 @@
+"""Bench: Fig. 6 — grid bandwidth after the §4.2.1 TCP tuning."""
+
+from repro.experiments import run_experiment
+from repro.units import KB, MB
+
+
+def test_fig6(benchmark, fast, report):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig6",), kwargs={"fast": fast},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    big = next(r for r in result.rows if r["nbytes"] == 64 * MB)
+    assert big["TCP"] >= 850
+    assert big["GridMPI"] >= 800
+    # The eager/rendezvous dip persists for the default-threshold stacks.
+    dip = next(r for r in result.rows if r["nbytes"] == 256 * KB)
+    assert dip["GridMPI"] > 1.5 * dip["MPICH-Madeleine"]

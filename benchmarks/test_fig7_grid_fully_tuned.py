@@ -1,0 +1,16 @@
+"""Bench: Fig. 7 — grid bandwidth after TCP + MPI tuning."""
+
+from repro.experiments import run_experiment
+from repro.units import MB
+
+
+def test_fig7(benchmark, fast, report):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig7",), kwargs={"fast": fast},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    big = next(r for r in result.rows if r["nbytes"] == 64 * MB)
+    impls = {k: v for k, v in big.items() if k not in ("nbytes", "TCP")}
+    assert all(bw >= 700 for bw in impls.values())
+    assert min(impls, key=impls.get) == "OpenMPI"  # its big-message deficit

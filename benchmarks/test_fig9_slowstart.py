@@ -1,0 +1,16 @@
+"""Bench: Fig. 9 — the slow-start ramp of a 1 MB message stream."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig9(benchmark, fast, report):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig9",), kwargs={"fast": fast},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    rows = {r["stack"]: r for r in result.rows}
+    assert 500 <= rows["TCP"]["peak_mbps"] <= 640  # the ~570 Mbps ceiling
+    # paced (GridMPI ~ TCP) reaches 500 Mbps before the unpaced stacks
+    assert rows["GridMPI"]["t500_s"] <= rows["MPICH2"]["t500_s"]
+    assert rows["GridMPI"]["t500_s"] <= rows["OpenMPI"]["t500_s"]

@@ -1,0 +1,9 @@
+"""Bench: Table 1 — implementation feature matrix (static)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table1(benchmark, fast, report):
+    result = benchmark(run_experiment, "table1", fast=fast)
+    report(result)
+    assert len(result.rows) == 6  # the paper lists all six implementations

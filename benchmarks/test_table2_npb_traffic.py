@@ -1,0 +1,16 @@
+"""Bench: Table 2 — NPB communication features from the traced runs."""
+
+from repro.experiments import run_experiment
+
+
+def test_table2(benchmark, fast, report):
+    result = benchmark.pedantic(
+        run_experiment, args=("table2",), kwargs={"fast": fast},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    by_bench = {r["bench"]: r for r in result.rows}
+    assert by_bench["ep"]["type"] == "P. to P."
+    assert by_bench["ft"]["type"] == "Collective"
+    # LU: ~1 kB point-to-point messages, the paper's signature
+    assert any(500 <= s <= 1500 for s, _ in by_bench["lu"]["dominant_sizes"])

@@ -1,0 +1,9 @@
+"""Bench: Table 3 — host specifications (static testbed data)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table3(benchmark, fast, report):
+    result = benchmark(run_experiment, "table3", fast=fast)
+    report(result)
+    assert "2.6.18" in result.text

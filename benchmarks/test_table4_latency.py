@@ -1,0 +1,16 @@
+"""Bench: Table 4 — one-byte latencies, cluster vs grid, vs the paper."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_table4(benchmark, fast, report):
+    result = benchmark.pedantic(
+        run_experiment, args=("table4",), kwargs={"fast": fast},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    for row in result.rows:
+        assert row["cluster_us"] == pytest.approx(row["paper_cluster_us"], abs=2)
+        assert row["grid_us"] == pytest.approx(row["paper_grid_us"], abs=3)

@@ -1,0 +1,16 @@
+"""Bench: Table 5 — ideal eager/rendezvous thresholds."""
+
+from repro.experiments import run_experiment
+from repro.units import MB
+
+
+def test_table5(benchmark, fast, report):
+    result = benchmark.pedantic(
+        run_experiment, args=("table5",), kwargs={"fast": fast},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    by_name = {r["implementation"]: r for r in result.rows}
+    assert by_name["mpich2"]["measured_grid"] == 65 * MB
+    assert by_name["openmpi"]["measured_grid"] == 32 * MB
+    assert by_name["gridmpi"]["measured_grid"] is None  # never rendezvous

@@ -1,0 +1,18 @@
+"""Bench: Table 6 — ray2mesh ray distribution vs master placement."""
+
+from repro.experiments import run_experiment
+
+
+def test_table6(benchmark, fast, report):
+    result = benchmark.pedantic(
+        run_experiment, args=("table6",), kwargs={"fast": fast},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    rows = {r["cluster"]: r for r in result.rows}
+    # Sophia's faster Opterons compute the most rays, Nancy's the fewest,
+    # whichever cluster hosts the master (the paper's Table 6 pattern).
+    for master in ("nancy", "rennes", "sophia", "toulouse"):
+        counts = {c: rows[c][f"master_{master}"] for c in rows}
+        assert max(counts, key=counts.get) == "sophia"
+        assert min(counts, key=counts.get) == "nancy"

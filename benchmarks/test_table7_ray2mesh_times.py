@@ -1,0 +1,16 @@
+"""Bench: Table 7 — ray2mesh phase times vs master placement."""
+
+from repro.experiments import run_experiment
+
+
+def test_table7(benchmark, fast, report):
+    result = benchmark.pedantic(
+        run_experiment, args=("table7",), kwargs={"fast": fast},
+        rounds=1, iterations=1,
+    )
+    report(result)
+    totals = [r["total_s"] for r in result.rows]
+    comps = [r["comp_s"] for r in result.rows]
+    # The paper's conclusion: master placement does not matter.
+    assert max(totals) / min(totals) < 1.05
+    assert max(comps) / min(comps) < 1.05

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's core finding in one minute.
+
+Runs an MPI pingpong between Rennes and Nancy (11.6 ms RTT, 1 Gbps) with
+each implementation, before and after the paper's tuning, and prints the
+bandwidth collapse and recovery.
+
+    python examples/quickstart.py
+"""
+
+from repro.apps import mpi_pingpong
+from repro.experiments.environments import get_environment, pingpong_pair
+from repro.impls import IMPLEMENTATION_ORDER
+from repro.report import Table
+from repro.units import MB, fmt_bytes
+
+SIZE = 16 * MB
+
+
+def main() -> None:
+    table = Table(
+        ["implementation", "default (Mbps)", "tuned (Mbps)"],
+        title=f"Grid pingpong at {fmt_bytes(SIZE)} (Rennes <-> Nancy, 11.6 ms RTT)",
+    )
+    for name in IMPLEMENTATION_ORDER:
+        bandwidths = {}
+        for env_name in ("default", "fully_tuned"):
+            env = get_environment(env_name)
+            net, a, b = pingpong_pair("grid")
+            curve = mpi_pingpong(
+                net, env.impl(name), a, b, sizes=[SIZE], repeats=30,
+                sysctls=env.sysctls,
+            )
+            bandwidths[env_name] = curve.max_bandwidth_mbps
+        table.add_row(
+            [env.impl(name).display_name, bandwidths["default"], bandwidths["fully_tuned"]]
+        )
+    print(table.render())
+    print()
+    print(
+        "Default kernels cap the TCP window near 128-170 kB: on an 11.6 ms\n"
+        "path that is ~100 Mbps no matter the implementation. Raising the\n"
+        "socket buffers to 4 MB (and each implementation's own knobs)\n"
+        "recovers ~900 Mbps — the paper's §4.2 in action."
+    )
+
+
+if __name__ == "__main__":
+    main()

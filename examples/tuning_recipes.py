@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Print the paper's §4.2 tuning recipe for your grid.
+
+The advisor computes the bandwidth-delay product of the worst inter-site
+path, derives the buffer size (the paper's 4 MB), and renders the exact
+sysctl commands, mpirun arguments, environment variables and source edits
+each implementation needs.
+
+    python examples/tuning_recipes.py
+"""
+
+from repro.impls import ALL_IMPLEMENTATIONS, IMPLEMENTATION_ORDER
+from repro.net import build_ray2mesh_testbed
+from repro.tcp.sysctl import SysctlConfig
+from repro.tuning import advise_buffer_bytes, bdp_bytes, render_recipe
+from repro.units import Gbps, fmt_bytes, msec
+
+
+def main() -> None:
+    net = build_ray2mesh_testbed()
+    print("Paths of the testbed (Fig. 8):")
+    sites = sorted(net.clusters)
+    worst = 0.0
+    for i, a in enumerate(sites):
+        for b in sites[i + 1 :]:
+            rtt = net.rtt(a, b)
+            bdp = bdp_bytes(rtt, Gbps(1))
+            worst = max(worst, rtt)
+            print(f"  {a:9s} <-> {b:9s}  RTT {rtt * 1e3:5.1f} ms  BDP {fmt_bytes(bdp)}")
+    buffer_bytes = advise_buffer_bytes(net)
+    print(f"\nAdvised socket buffer: {fmt_bytes(buffer_bytes)} "
+          f"(the paper rounds the worst-path BDP up to 4M)\n")
+
+    sysctls = (
+        SysctlConfig().with_buffer_max(buffer_bytes).with_buffer_default(buffer_bytes)
+    )
+    print("Kernel tuning (all hosts):")
+    for command in sysctls.render_commands():
+        print(f"  {command}")
+
+    for name in IMPLEMENTATION_ORDER:
+        impl = ALL_IMPLEMENTATIONS[name]
+        recipe = render_recipe(impl, sysctls, buffer_bytes=buffer_bytes)
+        print(f"\n{impl.display_name} {impl.version}:")
+        for step in recipe.steps:
+            print(f"  - {step}")
+
+
+if __name__ == "__main__":
+    main()

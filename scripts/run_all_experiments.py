@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Run every experiment and save the rendered reports under results/.
+
+    python scripts/run_all_experiments.py [--fast] [ids...]
+
+Used to regenerate the numbers quoted in EXPERIMENTS.md.
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+#: cheap experiments always run at paper scale; the NPB/ray2mesh ones are
+#: driven by --fast
+ALWAYS_FULL = {"table1", "table3", "table4", "fig3", "fig5", "fig6", "fig7", "fig9"}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("ids", nargs="*", default=None)
+    parser.add_argument("--fast", action="store_true")
+    parser.add_argument("--out", default="results")
+    args = parser.parse_args()
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(exist_ok=True)
+    ids = args.ids or sorted(EXPERIMENTS)
+    for experiment_id in ids:
+        fast = args.fast and experiment_id not in ALWAYS_FULL
+        started = time.monotonic()
+        result = run_experiment(experiment_id, fast=fast)
+        elapsed = time.monotonic() - started
+        path = out_dir / f"{experiment_id}.txt"
+        path.write_text(result.text + f"\n\n[{elapsed:.1f}s wall, fast={fast}]\n")
+        print(f"{experiment_id}: {elapsed:7.1f}s -> {path}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandbox this project is developed in has no network access and no
+``wheel`` package, so PEP 660 editable installs (``pip install -e .``) cannot
+build. ``python setup.py develop`` provides the equivalent editable install
+using only setuptools. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro — a simulation-based reproduction of Hablot et al. (2007),
+"Comparison and tuning of MPI implementations in a grid context".
+
+The library contains, from the bottom up:
+
+- :mod:`repro.sim` — a deterministic discrete-event engine.
+- :mod:`repro.net` — nodes, links and the Grid'5000 testbed model.
+- :mod:`repro.tcp` — a fluid TCP model: congestion control, socket buffers,
+  kernel auto-tuning, pacing.
+- :mod:`repro.mpi` — a message-passing library (point-to-point with
+  eager/rendezvous protocol, a suite of collective algorithms, tracing).
+- :mod:`repro.impls` — behavioural models of MPICH2, GridMPI,
+  MPICH-Madeleine and OpenMPI.
+- :mod:`repro.npb` — the eight NAS Parallel Benchmarks as communication/
+  computation skeletons with verification kernels.
+- :mod:`repro.apps` — pingpong and the ray2mesh seismic application.
+- :mod:`repro.tuning` — the paper's tuning methodology as an advisor API.
+- :mod:`repro.experiments` — one entry per paper table/figure.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,18 @@
+"""Post-processing of experiment results: curve metrics and exports."""
+
+from repro.analysis.curves import (
+    crossover_size,
+    half_bandwidth_size,
+    plateau_bandwidth,
+    relative_series,
+)
+from repro.analysis.export import experiment_to_dict, experiment_to_json
+
+__all__ = [
+    "crossover_size",
+    "experiment_to_dict",
+    "experiment_to_json",
+    "half_bandwidth_size",
+    "plateau_bandwidth",
+    "relative_series",
+]

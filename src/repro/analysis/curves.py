@@ -1,0 +1,62 @@
+"""Metrics over pingpong curves — the quantities the paper reads off its
+figures ("half bandwidth is only reached around 1 MB", "the threshold
+around 128 kB", "~900 Mbps maximum")."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.pingpong import PingPongCurve
+from repro.errors import ReproError
+
+
+def plateau_bandwidth(curve: PingPongCurve, tail_points: int = 3) -> float:
+    """The curve's plateau: mean bandwidth over its largest sizes."""
+    if not curve.points:
+        raise ReproError("empty curve")
+    tail = curve.points[-tail_points:]
+    return sum(p.max_bandwidth_mbps for p in tail) / len(tail)
+
+
+def half_bandwidth_size(curve: PingPongCurve) -> Optional[int]:
+    """The smallest message size reaching half the plateau (the paper's
+    'half bandwidth around 1 MB' observation for the tuned grid); None if
+    never reached."""
+    target = plateau_bandwidth(curve) / 2.0
+    for point in curve.points:
+        if point.max_bandwidth_mbps >= target:
+            return point.nbytes
+    return None
+
+
+def crossover_size(a: PingPongCurve, b: PingPongCurve) -> Optional[int]:
+    """The smallest common size where curve ``a`` stops beating curve
+    ``b`` (None if it never crosses)."""
+    bw_b = {p.nbytes: p.max_bandwidth_mbps for p in b.points}
+    started_ahead = False
+    for point in a.points:
+        other = bw_b.get(point.nbytes)
+        if other is None:
+            continue
+        if point.max_bandwidth_mbps > other:
+            started_ahead = True
+        elif started_ahead:
+            return point.nbytes
+    return None
+
+
+def relative_series(
+    times: dict[str, float], reference: str
+) -> dict[str, float]:
+    """The paper's Fig. 10 transform: time(reference)/time(x) per key;
+    0.0 marks a DNF (infinite time)."""
+    if reference not in times:
+        raise ReproError(f"reference {reference!r} missing from times")
+    ref = times[reference]
+    out = {}
+    for key, value in times.items():
+        if value != value or value == float("inf") or value <= 0:
+            out[key] = 0.0
+        else:
+            out[key] = ref / value
+    return out

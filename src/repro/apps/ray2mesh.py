@@ -1,0 +1,172 @@
+"""ray2mesh — the paper's real application (§2.2.1, §4.4).
+
+A master/worker seismic ray tracer: the master hands out sets of 1000
+rays (69 kB per set) to 32 slaves spread over four clusters (Fig. 8);
+a slave that finishes asks for the next set, so faster and nearer slaves
+compute more rays (Table 6).  When the million rays are done, every node
+merges the mesh cells of its submesh: ~235 MB of point-to-point
+``MPI_Isend`` traffic per node plus the merge processing itself
+(Table 7's merge phase).
+
+Calibration (absolute scale only; the comparisons are structural):
+
+* ``FLOP_PER_RAY`` puts the computing phase near the paper's ~185 s;
+* ``MERGE_FLOP_PER_BYTE`` puts the merge phase near ~165 s (the merge is
+  compute-bound: 235 MB/node would need only seconds of network time);
+* constant init + result-writing time completes the total (~360 s).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.mpi.constants import ANY_SOURCE
+from repro.mpi.runtime import MpiJob
+from repro.net.grid5000 import build_ray2mesh_testbed
+from repro.net.topology import Network
+from repro.units import KB, MB
+
+#: one set of rays (paper: 69 kB for 1000 rays)
+BLOCK_BYTES = 69 * KB
+RAYS_PER_BLOCK = 1000
+TOTAL_RAYS = 1_000_000
+
+#: work per ray (~6.6 Mflop: 1000-ray set ≈ 6 s on a 1.1 Gflop/s node)
+FLOP_PER_RAY = 6.6e6
+
+#: merge traffic per node (paper: "around 235 MB by node")
+MERGE_BYTES_PER_NODE = 235 * MB
+#: merge processing cost per received byte
+MERGE_FLOP_PER_BYTE = 560.0
+
+#: constant phases (init / mesh write)
+INIT_TIME = 5.0
+WRITE_TIME = 4.0
+
+REQUEST_BYTES = 16
+STOP = "stop"
+
+
+@dataclass
+class Ray2MeshResult:
+    """One run: master placement, per-cluster ray counts, phase times."""
+
+    master_site: str
+    rays_per_cluster: dict[str, int]
+    comp_time: float
+    merge_time: float
+    total_time: float
+
+    @property
+    def total_rays(self) -> int:
+        return sum(self.rays_per_cluster.values())
+
+
+def run_ray2mesh(
+    impl,
+    master_site: str = "nancy",
+    network: Network = None,
+    total_rays: int = TOTAL_RAYS,
+    rays_per_block: int = RAYS_PER_BLOCK,
+    sysctls=None,
+    seed: int = 0,
+) -> Ray2MeshResult:
+    """Execute ray2mesh with the master on ``master_site`` (§4.4 setup:
+    8 nodes in each of Nancy, Rennes, Sophia, Toulouse; the master shares
+    the first node of its cluster with a slave)."""
+    net = network or build_ray2mesh_testbed(nodes_per_site=8)
+    if master_site not in net.clusters:
+        raise WorkloadError(f"unknown master site {master_site!r}")
+    if total_rays <= 0 or rays_per_block <= 0:
+        raise WorkloadError("ray counts must be positive")
+
+    slaves = []
+    for site in sorted(net.clusters):
+        slaves.extend(net.clusters[site].nodes)
+    master_node = net.clusters[master_site].nodes[0]
+    placement = [master_node] + slaves
+    nslaves = len(slaves)
+    nblocks = math.ceil(total_rays / rays_per_block)
+
+    rays_done = {rank: 0 for rank in range(1, nslaves + 1)}
+    phase_times = {}
+
+    def master(ctx):
+        comm = ctx.comm
+        remaining = nblocks
+        active = min(nslaves, remaining)
+        for slave in range(1, active + 1):
+            yield from comm.send(slave, BLOCK_BYTES, tag=1, payload=rays_per_block)
+            remaining -= 1
+        running = active
+        while running:
+            _, status = yield from comm.recv(ANY_SOURCE, 2)
+            if remaining > 0:
+                yield from comm.send(
+                    status.source, BLOCK_BYTES, tag=1, payload=rays_per_block
+                )
+                remaining -= 1
+            else:
+                yield from comm.send(status.source, REQUEST_BYTES, tag=1, payload=STOP)
+                running -= 1
+
+    def slave(ctx):
+        comm, rank = ctx.comm, ctx.rank
+        while True:
+            block, _ = yield from comm.recv(0, 1)
+            if block == STOP:
+                break
+            yield from ctx.compute(block * FLOP_PER_RAY)
+            rays_done[rank] += block
+            yield from comm.send(0, REQUEST_BYTES, tag=2)
+
+    def merge(ctx):
+        comm, rank = ctx.comm, ctx.rank
+        peers = [r for r in range(1, nslaves + 1) if r != rank]
+        per_peer = MERGE_BYTES_PER_NODE // len(peers)
+        reqs = [comm.isend(peer, per_peer, tag=3) for peer in peers]
+        received = 0
+        for _ in peers:
+            _, status = yield from comm.recv(ANY_SOURCE, 3)
+            received += status.nbytes
+        yield from comm.waitall(reqs)
+        yield from ctx.compute(received * MERGE_FLOP_PER_BYTE)
+
+    def real_program(ctx):
+        comm, rank = ctx.comm, ctx.rank
+        yield from ctx.compute_time(INIT_TIME)
+        if rank == 0:
+            yield from master(ctx)
+        else:
+            yield from slave(ctx)
+        yield from comm.barrier()
+        if rank == 0:
+            phase_times["comp_end"] = ctx.wtime()
+        if rank != 0:
+            yield from merge(ctx)
+        yield from comm.barrier()
+        if rank == 0:
+            phase_times["merge_end"] = ctx.wtime()
+        yield from ctx.compute_time(WRITE_TIME)
+
+    job = MpiJob(net, impl, placement, sysctls=sysctls, trace=False, seed=seed)
+    result = job.run(real_program)
+
+    rays_per_cluster: dict[str, int] = {}
+    for rank, node in enumerate(placement):
+        if rank == 0:
+            continue
+        site = node.cluster.name
+        rays_per_cluster[site] = rays_per_cluster.get(site, 0) + rays_done[rank]
+
+    comp_time = phase_times["comp_end"] - INIT_TIME
+    merge_time = phase_times["merge_end"] - phase_times["comp_end"]
+    return Ray2MeshResult(
+        master_site=master_site,
+        rays_per_cluster=rays_per_cluster,
+        comp_time=comp_time,
+        merge_time=merge_time,
+        total_time=result.makespan,
+    )

@@ -1,0 +1,71 @@
+"""Command-line interface: ``repro list`` / ``repro run <experiment>``.
+
+Examples::
+
+    repro list
+    repro run table4
+    repro run fig7 --full
+    repro run all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro._version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Comparison and tuning of MPI implementations "
+            "in a grid context' (Hablot et al., 2007) on a simulated Grid'5000."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the reproducible tables and figures")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id, e.g. table4 or fig7, or 'all'")
+    mode = run.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced repeats/problem class (default)",
+    )
+    mode.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale configuration (slow: class B, 100+ repeats)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    from repro.experiments import EXPERIMENTS, run_experiment
+
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+
+    fast = not args.full
+    ids = sorted(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
+    for experiment_id in ids:
+        started = time.monotonic()
+        result = run_experiment(experiment_id, fast=fast)
+        elapsed = time.monotonic() - started
+        print(result.text)
+        print(f"[{result.experiment_id}: {elapsed:.1f}s wall]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

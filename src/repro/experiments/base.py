@@ -1,0 +1,24 @@
+"""Experiment result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """Structured + rendered outcome of one reproduced table/figure."""
+
+    experiment_id: str
+    title: str
+    paper_ref: str
+    #: structured data (list of dicts; schema is experiment-specific)
+    rows: list[dict]
+    #: rendered, human-readable report
+    text: str
+    #: free-form extras (series, curves...)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.text

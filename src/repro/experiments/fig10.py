@@ -1,0 +1,53 @@
+"""Figure 10 — NPB on 8+8 grid nodes, every implementation vs MPICH2."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.npb_runs import NPB_ORDER, npb_time, relative_to_mpich2
+from repro.impls import ALL_IMPLEMENTATIONS, IMPLEMENTATION_ORDER
+from repro.report import Table
+
+PAPER_NOTE = (
+    "GridMPI wins big on the collective benchmarks (FT, IS); MPICH2 is "
+    "best on LU; BT/SP slightly favour GridMPI; MPICH-Madeleine times "
+    "out on BT and SP (bars absent in the paper)"
+)
+
+
+def run(fast: bool = False, placement_kind: str = "grid16") -> ExperimentResult:
+    cls = "A" if fast else "B"
+    sample = 4 if fast else "default"
+    table = Table(
+        ["NAS"] + [ALL_IMPLEMENTATIONS[n].display_name for n in IMPLEMENTATION_ORDER],
+        title=(
+            f"Fig. 10: relative performance vs MPICH2 (class {cls}, "
+            f"{placement_kind}; >1 = faster, 0 = DNF)"
+        ),
+    )
+    rows = []
+    for bench in NPB_ORDER:
+        cells = [bench.upper()]
+        row = {"bench": bench}
+        for name in IMPLEMENTATION_ORDER:
+            rel = relative_to_mpich2(
+                bench, name, placement_kind, cls=cls, sample_iters=sample
+            )
+            cells.append(rel)
+            row[name] = rel
+        table.add_row(cells)
+        rows.append(row)
+    times = {
+        (bench, name): npb_time(
+            bench, name, placement_kind, cls=cls, sample_iters=sample
+        )
+        for bench in NPB_ORDER
+        for name in IMPLEMENTATION_ORDER
+    }
+    return ExperimentResult(
+        "fig10",
+        "Fig. 10: NPB relative to MPICH2 on the grid (8+8)",
+        "Figure 10, §4.3",
+        rows,
+        "\n".join([table.render(), "", f"paper: {PAPER_NOTE}"]),
+        extra={"times": times},
+    )

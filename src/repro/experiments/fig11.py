@@ -1,0 +1,18 @@
+"""Figure 11 — same comparison as Fig. 10 on 2+2 nodes."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10
+from repro.experiments.base import ExperimentResult
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    result = fig10.run(fast=fast, placement_kind="grid4")
+    return ExperimentResult(
+        "fig11",
+        "Fig. 11: NPB relative to MPICH2 on the grid (2+2)",
+        "Figure 11, §4.3",
+        result.rows,
+        result.text.replace("Fig. 10", "Fig. 11"),
+        extra=result.extra,
+    )

@@ -1,0 +1,45 @@
+"""Figure 12 — grid (8+8) vs one cluster (16 nodes), per implementation.
+
+Relative performance = time(16 in one cluster) / time(8+8 across the
+WAN); 1 means the grid costs nothing.  The paper's reading: EP ≈ 1,
+LU/SP/BT hold up (big messages), CG/MG collapse (small messages), FT
+benefits from GridMPI's broadcast while IS stays poor.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.npb_runs import NPB_ORDER, npb_time
+from repro.impls import ALL_IMPLEMENTATIONS, IMPLEMENTATION_ORDER
+from repro.report import Table
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    cls = "A" if fast else "B"
+    sample = 4 if fast else "default"
+    table = Table(
+        ["NAS"] + [ALL_IMPLEMENTATIONS[n].display_name for n in IMPLEMENTATION_ORDER],
+        title=(
+            f"Fig. 12: relative performance of 8+8 grid nodes vs 16 cluster "
+            f"nodes (class {cls}; 1 = no grid penalty, 0 = DNF)"
+        ),
+    )
+    rows = []
+    for bench in NPB_ORDER:
+        cells = [bench.upper()]
+        row = {"bench": bench}
+        for name in IMPLEMENTATION_ORDER:
+            t_cluster = npb_time(bench, name, "cluster16", cls=cls, sample_iters=sample)
+            t_grid = npb_time(bench, name, "grid16", cls=cls, sample_iters=sample)
+            rel = 0.0 if t_grid == float("inf") else t_cluster / t_grid
+            cells.append(rel)
+            row[name] = rel
+        table.add_row(cells)
+        rows.append(row)
+    return ExperimentResult(
+        "fig12",
+        "Fig. 12: grid vs cluster at equal node count",
+        "Figure 12, §4.3",
+        rows,
+        table.render(),
+    )

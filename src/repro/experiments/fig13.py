@@ -1,0 +1,45 @@
+"""Figure 13 — 16 grid nodes vs 4 cluster nodes: is the grid worth it?
+
+Speedup = time(4 nodes, one cluster) / time(8+8 across the WAN); the
+ideal is 4.  The paper: LU and BT come close to 4, FT and SP reach at
+least 3, CG and MG barely gain — yet *every* benchmark gains, which is
+the paper's core argument for running MPI applications on the grid.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.npb_runs import NPB_ORDER, npb_time
+from repro.impls import ALL_IMPLEMENTATIONS, IMPLEMENTATION_ORDER
+from repro.report import Table
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    cls = "A" if fast else "B"
+    sample = 4 if fast else "default"
+    table = Table(
+        ["NAS"] + [ALL_IMPLEMENTATIONS[n].display_name for n in IMPLEMENTATION_ORDER],
+        title=(
+            f"Fig. 13: speedup of 8+8 grid nodes over 4 cluster nodes "
+            f"(class {cls}; ideal 4, 0 = DNF)"
+        ),
+    )
+    rows = []
+    for bench in NPB_ORDER:
+        cells = [bench.upper()]
+        row = {"bench": bench}
+        for name in IMPLEMENTATION_ORDER:
+            t_small = npb_time(bench, name, "cluster4", cls=cls, sample_iters=sample)
+            t_grid = npb_time(bench, name, "grid16", cls=cls, sample_iters=sample)
+            speedup = 0.0 if t_grid == float("inf") else t_small / t_grid
+            cells.append(speedup)
+            row[name] = speedup
+        table.add_row(cells)
+        rows.append(row)
+    return ExperimentResult(
+        "fig13",
+        "Fig. 13: grid speedup over a 4-node cluster",
+        "Figure 13, §4.3",
+        rows,
+        table.render(),
+    )

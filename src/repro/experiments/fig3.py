@@ -1,0 +1,32 @@
+"""Figure 3 — grid bandwidth with default parameters (the collapse)."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.pingpong_common import (
+    FAST_SIZES,
+    FULL_SIZES,
+    bandwidth_curves,
+    figure_result,
+)
+
+PAPER_NOTE = (
+    "none of the implementations nor direct TCP exceeds 120 Mbps on the "
+    "1 Gbps Rennes-Nancy path with default parameters"
+)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    curves = bandwidth_curves(
+        where="grid",
+        env_name="default",
+        sizes=FAST_SIZES if fast else FULL_SIZES,
+        repeats=20 if fast else 100,
+    )
+    return figure_result(
+        "fig3",
+        "Fig. 3: MPI bandwidth on the grid, default parameters",
+        "Figure 3, §4.1",
+        curves,
+        PAPER_NOTE,
+    )

@@ -1,0 +1,33 @@
+"""Figure 6 — grid bandwidth after the TCP tuning of §4.2.1."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.pingpong_common import (
+    FAST_SIZES,
+    FULL_SIZES,
+    bandwidth_curves,
+    figure_result,
+)
+
+PAPER_NOTE = (
+    "~900 Mbps maximum on the grid (940 in the cluster); half bandwidth "
+    "only around 1 MB; the eager/rendezvous dip (~128 kB) persists for "
+    "all but GridMPI"
+)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    curves = bandwidth_curves(
+        where="grid",
+        env_name="tcp_tuned",
+        sizes=FAST_SIZES if fast else FULL_SIZES,
+        repeats=20 if fast else 100,
+    )
+    return figure_result(
+        "fig6",
+        "Fig. 6: MPI bandwidth on the grid after TCP tuning",
+        "Figure 6, §4.2.1",
+        curves,
+        PAPER_NOTE,
+    )

@@ -1,0 +1,83 @@
+"""Shared, cached NPB executions for the Figure 10-13 experiments.
+
+Figures 10, 12 and 13 all consume the same grid-8+8 class-B runs, so the
+results are memoised per (benchmark, class, implementation, placement,
+environment, sampling) within one process.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.experiments.environments import (
+    GridEnvironment,
+    cluster_placement,
+    get_environment,
+    grid_placement,
+)
+from repro.npb import run_npb
+from repro.npb.common import BENCHMARK_NAMES
+
+#: paper order of the NPB bars (Figs. 10-13)
+NPB_ORDER = ("ep", "cg", "mg", "lu", "sp", "bt", "is", "ft")
+
+_cache: dict[tuple, float] = {}
+
+
+def clear_cache() -> None:
+    _cache.clear()
+
+
+def npb_time(
+    bench: str,
+    impl_name: str,
+    placement_kind: str,
+    cls: str = "B",
+    env_name: str = "fully_tuned",
+    sample_iters: "int | None | str" = "default",
+    timeout: Optional[float] = None,
+) -> float:
+    """Execution time (virtual seconds; ``inf`` for a known failure).
+
+    ``placement_kind``: ``grid16`` (8+8), ``grid4`` (2+2), ``cluster16``,
+    ``cluster4``.
+    """
+    key = (bench, impl_name, placement_kind, cls, env_name, sample_iters)
+    if key in _cache:
+        return _cache[key]
+
+    env: GridEnvironment = get_environment(env_name)
+    if placement_kind.startswith("grid"):
+        nprocs = int(placement_kind.removeprefix("grid"))
+        network, placement = grid_placement(nprocs)
+    elif placement_kind.startswith("cluster"):
+        nprocs = int(placement_kind.removeprefix("cluster"))
+        network, placement = cluster_placement(nprocs)
+    else:
+        raise ValueError(f"unknown placement kind {placement_kind!r}")
+
+    result = run_npb(
+        bench,
+        cls,
+        network,
+        env.impl(impl_name),
+        placement,
+        sysctls=env.sysctls,
+        sample_iters=sample_iters,
+        timeout=timeout,
+    )
+    _cache[key] = result.time
+    return result.time
+
+
+def relative_to_mpich2(
+    bench: str, impl_name: str, placement_kind: str, cls: str = "B", **kw
+) -> float:
+    """Figs. 10/11: time(MPICH2) / time(impl); > 1 means faster than the
+    reference, ``0`` when the implementation did not finish."""
+    ref = npb_time(bench, "mpich2", placement_kind, cls, **kw)
+    t = npb_time(bench, impl_name, placement_kind, cls, **kw)
+    if math.isinf(t):
+        return 0.0
+    return ref / t

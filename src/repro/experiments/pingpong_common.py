@@ -1,0 +1,78 @@
+"""Shared machinery of the four pingpong bandwidth figures (3, 5, 6, 7)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.apps.pingpong import PingPongCurve, mpi_pingpong, tcp_pingpong
+from repro.experiments.base import ExperimentResult
+from repro.experiments.environments import get_environment, pingpong_pair
+from repro.impls import IMPLEMENTATION_ORDER
+from repro.report import Table, line_chart
+from repro.units import KB, MB, fmt_bytes, log2_sizes
+
+#: the paper's full x axis
+FULL_SIZES = tuple(log2_sizes(KB, 64 * MB))
+#: CI subset: one point per decade-ish, keeping the 128 kB dip region
+FAST_SIZES = (KB, 16 * KB, 128 * KB, 256 * KB, MB, 8 * MB, 64 * MB)
+
+
+def bandwidth_curves(
+    where: str,
+    env_name: str,
+    sizes: Sequence[int],
+    repeats: int,
+) -> dict[str, PingPongCurve]:
+    """TCP + the four implementations, in the paper's legend order."""
+    env = get_environment(env_name)
+    net, a, b = pingpong_pair(where)
+    curves: dict[str, PingPongCurve] = {
+        "TCP": tcp_pingpong(net, a, b, sizes=sizes, repeats=repeats, sysctls=env.sysctls)
+    }
+    for name in IMPLEMENTATION_ORDER:
+        impl = env.impl(name)
+        curves[impl.display_name] = mpi_pingpong(
+            net, impl, a, b, sizes=sizes, repeats=repeats, sysctls=env.sysctls
+        )
+    return curves
+
+
+def figure_result(
+    experiment_id: str,
+    title: str,
+    paper_ref: str,
+    curves: dict[str, PingPongCurve],
+    paper_note: str,
+) -> ExperimentResult:
+    sizes = next(iter(curves.values())).sizes
+    table = Table(
+        ["size"] + list(curves), title=f"{title} — MPI bandwidth (Mbps)"
+    )
+    rows = []
+    for nbytes in sizes:
+        cells = [fmt_bytes(nbytes)]
+        row = {"nbytes": nbytes}
+        for label, curve in curves.items():
+            bw = curve.bandwidth_at(nbytes)
+            cells.append(bw)
+            row[label] = bw
+        table.add_row(cells)
+        rows.append(row)
+    chart = line_chart(
+        {
+            label: [(p.nbytes, p.max_bandwidth_mbps) for p in curve.points]
+            for label, curve in curves.items()
+        },
+        title=title,
+        x_labels=[fmt_bytes(s) for s in sizes],
+        y_label="Mbps",
+    )
+    text = "\n".join([table.render(), "", chart, "", f"paper: {paper_note}"])
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        paper_ref=paper_ref,
+        rows=rows,
+        text=text,
+        extra={"curves": curves},
+    )

@@ -1,0 +1,58 @@
+"""Experiment registry: id -> runner."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "fig3": fig3.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    try:
+        return EXPERIMENTS[experiment_id.lower()]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; have {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
+    return get_experiment(experiment_id)(fast=fast)

@@ -1,0 +1,33 @@
+"""Table 3 — host specifications of the testbed (static data)."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.net.grid5000 import HOST_SPECS
+from repro.report import Table
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    table = Table(
+        ["", "Rennes", "Nancy"],
+        title="Table 3: host specifications",
+    )
+    rennes, nancy = HOST_SPECS["rennes"], HOST_SPECS["nancy"]
+    fields = [
+        ("Processor", f"{rennes.processor} {rennes.clock_ghz} GHz",
+         f"{nancy.processor} {nancy.clock_ghz} GHz"),
+        ("Motherboard", rennes.motherboard, nancy.motherboard),
+        ("Memory", f"{rennes.memory_gb} GB", f"{nancy.memory_gb} GB"),
+        ("NIC", rennes.nic, nancy.nic),
+        ("OS", rennes.os, nancy.os),
+        ("Kernel", rennes.kernel, nancy.kernel),
+        ("TCP version", rennes.tcp, nancy.tcp),
+        ("Calibrated rate", f"{rennes.gflops} Gflop/s", f"{nancy.gflops} Gflop/s"),
+    ]
+    rows = []
+    for label, r, n in fields:
+        table.add_row([label, r, n])
+        rows.append({"field": label, "rennes": r, "nancy": n})
+    return ExperimentResult(
+        "table3", "Table 3: host specifications", "Table 3, §3.2", rows, table.render()
+    )

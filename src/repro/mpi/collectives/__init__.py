@@ -1,0 +1,111 @@
+"""Collective algorithms and their registry.
+
+Each algorithm is a generator function over the communicator's internal
+point-to-point primitives, so its cost on a given topology emerges from
+the messages it actually sends — the WAN-crossing pattern of a binomial
+tree vs Van de Geijn's scatter+ring is what produces GridMPI's FT/IS wins
+in Fig. 10, not a formula.
+
+Registry keys are the strings stored in each implementation's
+``collectives`` table (:mod:`repro.impls`):
+
+===========  =====================================================
+operation    algorithms
+===========  =====================================================
+bcast        ``binomial`` | ``linear`` | ``van_de_geijn`` |
+             ``hierarchical`` | ``pipeline``
+reduce       ``binomial``
+allreduce    ``recursive_doubling`` | ``rabenseifner`` | ``reduce_bcast``
+allgather    ``ring`` | ``recursive_doubling`` | ``bruck``
+alltoall     ``pairwise`` | ``bruck``
+gather       ``binomial`` | ``linear``
+scatter      ``binomial`` | ``linear``
+barrier      ``dissemination``
+scan         ``linear``
+===========  =====================================================
+"""
+
+from repro.errors import MpiError
+from repro.mpi.collectives.allgather import allgather_recursive_doubling, allgather_ring
+from repro.mpi.collectives.allreduce import (
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    allreduce_reduce_bcast,
+)
+from repro.mpi.collectives.alltoall import alltoall_pairwise, alltoallv_pairwise
+from repro.mpi.collectives.barrier import barrier_dissemination
+from repro.mpi.collectives.bcast import (
+    bcast_binomial,
+    bcast_hierarchical,
+    bcast_linear,
+    bcast_van_de_geijn,
+)
+from repro.mpi.collectives.bruck import allgather_bruck, alltoall_bruck
+from repro.mpi.collectives.pipeline import bcast_pipeline, scan_linear
+from repro.mpi.collectives.gather_scatter import (
+    gather_binomial,
+    gather_linear,
+    gatherv_linear,
+    scatter_binomial,
+    scatter_linear,
+    scatterv_linear,
+)
+from repro.mpi.collectives.reduce import reduce_binomial
+
+ALGORITHMS = {
+    "bcast": {
+        "binomial": bcast_binomial,
+        "linear": bcast_linear,
+        "van_de_geijn": bcast_van_de_geijn,
+        "hierarchical": bcast_hierarchical,
+        "pipeline": bcast_pipeline,
+    },
+    "reduce": {"binomial": reduce_binomial},
+    "allreduce": {
+        "recursive_doubling": allreduce_recursive_doubling,
+        "rabenseifner": allreduce_rabenseifner,
+        "reduce_bcast": allreduce_reduce_bcast,
+    },
+    "allgather": {
+        "ring": allgather_ring,
+        "recursive_doubling": allgather_recursive_doubling,
+        "bruck": allgather_bruck,
+    },
+    "alltoall": {"pairwise": alltoall_pairwise, "bruck": alltoall_bruck},
+    "alltoallv": {"pairwise": alltoallv_pairwise},
+    "scan": {"linear": scan_linear},
+    "gather": {"binomial": gather_binomial, "linear": gather_linear},
+    "gatherv": {"linear": gatherv_linear},
+    "scatter": {"binomial": scatter_binomial, "linear": scatter_linear},
+    "scatterv": {"linear": scatterv_linear},
+    "barrier": {"dissemination": barrier_dissemination},
+}
+
+#: algorithm used when an implementation does not pin one
+DEFAULTS = {
+    "bcast": "binomial",
+    "reduce": "binomial",
+    "allreduce": "recursive_doubling",
+    "allgather": "ring",
+    "alltoall": "pairwise",
+    "alltoallv": "pairwise",
+    "gather": "binomial",
+    "gatherv": "linear",
+    "scatter": "binomial",
+    "scatterv": "linear",
+    "barrier": "dissemination",
+    "scan": "linear",
+}
+
+
+def resolve(operation: str, name: str):
+    """Look up an algorithm; raises :class:`MpiError` for unknown names."""
+    table = ALGORITHMS.get(operation)
+    if table is None:
+        raise MpiError(f"unknown collective operation {operation!r}")
+    fn = table.get(name)
+    if fn is None:
+        raise MpiError(
+            f"unknown {operation} algorithm {name!r}; have {sorted(table)}"
+        )
+    return fn

@@ -1,0 +1,127 @@
+"""Gather and scatter (plus their v-variants).
+
+Binomial versions aggregate/split along a tree (message sizes grow/shrink
+with the subtree), matching MPICH defaults; linear versions are the
+baseline (and the only option for the v-variants, as in MPICH-G2 where
+Gatherv/Scatterv stayed topology-unaware).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.errors import MpiError
+
+
+def gather_linear(comm, tag: int, root: int, nbytes_each: int, payload: Any):
+    size, rank = comm.size, comm.rank
+    if rank != root:
+        yield from comm._csend(root, nbytes_each, payload, tag)
+        return None
+    blocks: list[Any] = [None] * size
+    blocks[root] = payload
+    for src in range(size):
+        if src != root:
+            blocks[src], _ = yield from comm._crecv(src, tag)
+    return blocks
+
+
+def gather_binomial(comm, tag: int, root: int, nbytes_each: int, payload: Any):
+    size, rank = comm.size, comm.rank
+    vrank = (rank - root) % size
+    # Each rank accumulates the blocks of its binomial subtree, keyed by
+    # vrank, then forwards the bundle to its parent.
+    bundle: dict[int, Any] = {vrank: payload}
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = (vrank - mask + root) % size
+            yield from comm._csend(parent, nbytes_each * len(bundle), bundle, tag)
+            break
+        child = vrank + mask
+        if child < size:
+            received, _ = yield from comm._crecv((child + root) % size, tag)
+            bundle.update(received)
+        mask <<= 1
+    if rank != root:
+        return None
+    # bundle is keyed by vrank; emit in absolute rank order.
+    return [bundle[(r - root) % size] for r in range(size)]
+
+
+def scatter_linear(comm, tag: int, root: int, nbytes_each: int, payloads: Optional[Sequence]):
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if payloads is not None and len(payloads) != size:
+            raise MpiError(f"scatter needs {size} payloads, got {len(payloads)}")
+        for dst in range(size):
+            if dst != root:
+                item = payloads[dst] if payloads is not None else None
+                yield from comm._csend(dst, nbytes_each, item, tag)
+        return payloads[root] if payloads is not None else None
+    item, _ = yield from comm._crecv(root, tag)
+    return item
+
+
+def scatter_binomial(comm, tag: int, root: int, nbytes_each: int, payloads: Optional[Sequence]):
+    size, rank = comm.size, comm.rank
+    if rank == root and payloads is not None and len(payloads) != size:
+        raise MpiError(f"scatter needs {size} payloads, got {len(payloads)}")
+    vrank = (rank - root) % size
+    if rank == root:
+        bundle = {
+            v: (payloads[(v + root) % size] if payloads is not None else None)
+            for v in range(size)
+        }
+    else:
+        bundle = {}
+
+    # Walk the interval containing vrank; owners forward the upper halves.
+    lo, hi = 0, size
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if vrank == lo:
+            upper = {v: bundle.pop(v) for v in range(mid, hi) if v in bundle}
+            yield from comm._csend(
+                (mid + root) % size, nbytes_each * (hi - mid), upper, tag
+            )
+        elif vrank == mid:
+            upper, _ = yield from comm._crecv((lo + root) % size, tag)
+            bundle.update(upper)
+        if vrank < mid:
+            hi = mid
+        else:
+            lo = mid
+    return bundle.get(vrank)
+
+
+def gatherv_linear(comm, tag: int, root: int, nbytes: int, payload: Any):
+    """Gather with per-rank sizes (each rank passes its own ``nbytes``)."""
+    size, rank = comm.size, comm.rank
+    if rank != root:
+        yield from comm._csend(root, nbytes, payload, tag)
+        return None, None
+    blocks: list[Any] = [None] * size
+    sizes: list[int] = [0] * size
+    blocks[root], sizes[root] = payload, nbytes
+    for src in range(size):
+        if src != root:
+            blocks[src], status = yield from comm._crecv(src, tag)
+            sizes[src] = status.nbytes
+    return blocks, sizes
+
+
+def scatterv_linear(
+    comm, tag: int, root: int, nbytes_list: Optional[Sequence[int]], payloads: Optional[Sequence]
+):
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if nbytes_list is None or len(nbytes_list) != size:
+            raise MpiError(f"scatterv needs {size} sizes")
+        for dst in range(size):
+            if dst != root:
+                item = payloads[dst] if payloads is not None else None
+                yield from comm._csend(dst, int(nbytes_list[dst]), item, tag)
+        return payloads[root] if payloads is not None else None
+    item, _ = yield from comm._crecv(root, tag)
+    return item

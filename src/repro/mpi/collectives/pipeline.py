@@ -1,0 +1,74 @@
+"""Pipeline (chain) broadcast and scan.
+
+``bcast_pipeline``
+    the classic segmented chain: the message is cut into fixed segments
+    pushed along rank order.  Bandwidth-optimal asymptotically and very
+    effective when the chain crosses each WAN cut exactly once (the
+    contiguous grid placement); latency grows linearly with P, so it only
+    pays for large messages.
+
+``scan_linear``
+    inclusive prefix reduction (``MPI_Scan``), chained along rank order.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mpi.collectives.bcast import SEGMENT_SWITCH_BYTES, bcast_binomial
+from repro.mpi.collectives.segutil import chunk_sizes, is_array, join_array, split_array
+
+#: segment size of the chain (64 kB: big enough to amortise per-message
+#: overhead, small enough to pipeline deeply)
+PIPELINE_SEGMENT_BYTES = 64 * 1024
+
+
+def bcast_pipeline(comm, tag: int, root: int, nbytes: int, payload: Any):
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return payload
+    if nbytes < 4 * PIPELINE_SEGMENT_BYTES:
+        result = yield from bcast_binomial(comm, tag, root, nbytes, payload)
+        return result
+
+    vrank = (rank - root) % size
+    succ = (rank + 1) % size if vrank < size - 1 else None
+    pred = (rank - 1) % size if vrank > 0 else None
+
+    nseg = max(1, (nbytes + PIPELINE_SEGMENT_BYTES - 1) // PIPELINE_SEGMENT_BYTES)
+    sizes = chunk_sizes(nbytes, nseg)
+    array = is_array(payload)
+    shape = payload.shape if array else None
+    if rank == root:
+        segments = split_array(payload, nseg) if array else [payload] * nseg
+        if payload is None:
+            segments = [None] * nseg
+    else:
+        segments = [None] * nseg
+
+    for i in range(nseg):
+        if pred is not None:
+            (shape_in, seg), _ = yield from comm._crecv(pred, tag)
+            segments[i] = seg
+            if shape_in is not None:
+                shape = shape_in
+        if succ is not None:
+            yield from comm._csend(succ, sizes[i], (shape, segments[i]), tag)
+
+    if rank == root:
+        return payload
+    if segments and is_array(segments[0]):
+        return join_array(segments, shape if shape is not None else (-1,))
+    return segments[0]
+
+
+def scan_linear(comm, tag: int, nbytes: int, payload: Any, op):
+    """Inclusive scan: rank r returns op(payload_0, ..., payload_r)."""
+    rank, size = comm.rank, comm.size
+    accumulated = payload
+    if rank > 0:
+        upstream, _ = yield from comm._crecv(rank - 1, tag)
+        accumulated = op(upstream, payload)
+    if rank < size - 1:
+        yield from comm._csend(rank + 1, nbytes, accumulated, tag)
+    return accumulated

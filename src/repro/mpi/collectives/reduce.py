@@ -1,0 +1,23 @@
+"""Reduction to a root: binomial tree (mirror image of the broadcast)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def reduce_binomial(comm, tag: int, root: int, nbytes: int, payload: Any, op):
+    size, rank = comm.size, comm.rank
+    vrank = (rank - root) % size
+    result = payload
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            dst = (vrank - mask + root) % size
+            yield from comm._csend(dst, nbytes, result, tag)
+            break
+        partner = vrank + mask
+        if partner < size:
+            other, _ = yield from comm._crecv((partner + root) % size, tag)
+            result = op(result, other)
+        mask <<= 1
+    return result if rank == root else None

@@ -1,0 +1,39 @@
+"""Minimal MPI datatype descriptors (size accounting only).
+
+The simulator times messages by byte count; datatypes exist so workload
+code can write ``count * DOUBLE.size`` instead of magic numbers and so the
+tracing layer can report element counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MpiError
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An elementary MPI datatype."""
+
+    name: str
+    size: int  # bytes per element
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise MpiError(f"datatype {self.name!r}: size must be positive")
+
+    def bytes_for(self, count: int) -> int:
+        if count < 0:
+            raise MpiError(f"negative element count {count}")
+        return count * self.size
+
+
+BYTE = Datatype("MPI_BYTE", 1)
+CHAR = Datatype("MPI_CHAR", 1)
+INT = Datatype("MPI_INT", 4)
+LONG = Datatype("MPI_LONG", 8)
+FLOAT = Datatype("MPI_FLOAT", 4)
+DOUBLE = Datatype("MPI_DOUBLE", 8)
+COMPLEX = Datatype("MPI_COMPLEX", 8)
+DOUBLE_COMPLEX = Datatype("MPI_DOUBLE_COMPLEX", 16)

@@ -1,0 +1,176 @@
+"""The MPI runtime: places ranks on nodes, runs SPMD programs, collects results.
+
+A *program* is a generator function ``program(ctx)`` where ``ctx`` is a
+:class:`RankContext` giving access to the communicator, the rank's node
+(for compute-time charging) and a per-rank deterministic random stream.
+Every rank runs the same program (SPMD), starting at virtual time zero::
+
+    def program(ctx):
+        data = np.arange(4.0) * ctx.rank
+        total = yield from ctx.comm.allreduce(data, nbytes=data.nbytes)
+        yield from ctx.compute(flop=1e9)
+        return float(total.sum())
+
+    job = MpiJob(network, impl, placement)
+    result = job.run(program)
+    print(result.makespan, result.returns)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import MpiError
+from repro.mpi.communicator import Communicator
+from repro.mpi.matching import Mailbox
+from repro.mpi.protocol import Protocol
+from repro.mpi.tracing import MessageTrace
+from repro.mpi.transport import Transport
+from repro.net.topology import Network, Node
+from repro.sim.core import Environment
+from repro.sim.rng import RngRegistry
+from repro.sim.sync import AllOf, AnyOf
+from repro.tcp.connection import Fabric
+from repro.tcp.sysctl import DEFAULT_SYSCTLS, SysctlConfig
+
+
+class RankContext:
+    """Everything one rank's program can touch."""
+
+    def __init__(self, job: "MpiJob", rank: int):
+        self.job = job
+        self.rank = rank
+        self.comm: Communicator = job.comms[rank]
+        self.node: Node = job.placement[rank]
+        self.env: Environment = job.env
+        #: deterministic per-rank random stream
+        self.rng = job.rngs.stream(f"rank{rank}")
+
+    @property
+    def size(self) -> int:
+        return self.job.nprocs
+
+    def compute(self, flop: float):
+        """Generator: charge ``flop`` floating-point operations of work at
+        this node's effective speed."""
+        if flop < 0:
+            raise MpiError(f"negative flop count {flop}")
+        yield self.env.timeout(self.node.compute_seconds(flop))
+
+    def compute_time(self, seconds: float):
+        """Generator: charge a fixed amount of local work."""
+        if seconds < 0:
+            raise MpiError(f"negative compute time {seconds}")
+        yield self.env.timeout(seconds)
+
+    def wtime(self) -> float:
+        return self.env.now
+
+
+@dataclass
+class JobResult:
+    """Outcome of one MPI job."""
+
+    makespan: float
+    rank_times: list[float]
+    returns: list[Any]
+    timed_out: bool
+    trace: MessageTrace
+    #: per-rank matching statistics
+    mailbox_stats: list
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.rank_times)
+
+
+class MpiJob:
+    """One simulated ``mpirun``: an implementation, a placement, a fabric."""
+
+    def __init__(
+        self,
+        network: Network,
+        impl,
+        placement: list[Node],
+        sysctls: "SysctlConfig | dict[str, SysctlConfig] | None" = None,
+        trace: bool = True,
+        seed: int = 0,
+    ):
+        if not placement:
+            raise MpiError("placement must name at least one node")
+        self.network = network
+        self.impl = impl
+        self.placement = list(placement)
+        self.nprocs = len(placement)
+        self.env = Environment()
+        self.rngs = RngRegistry(seed)
+
+        if sysctls is None:
+            self.fabric = Fabric(self.env, network, DEFAULT_SYSCTLS)
+        elif isinstance(sysctls, SysctlConfig):
+            self.fabric = Fabric(self.env, network, sysctls)
+        else:
+            self.fabric = Fabric(self.env, network, DEFAULT_SYSCTLS)
+            for cluster, config in sysctls.items():
+                self.fabric.set_sysctls(config, cluster=cluster)
+
+        self.transport = Transport(
+            self.fabric,
+            self.placement,
+            impl.tcp_options(),
+            parallel_streams=getattr(impl, "parallel_streams", 1),
+            stream_threshold=getattr(impl, "stream_threshold", 0),
+            native_fabrics=getattr(impl, "native_fabrics", frozenset()),
+        )
+        self.mailboxes = [
+            Mailbox(self.env, r, impl.copy_bandwidth) for r in range(self.nprocs)
+        ]
+        self.trace = MessageTrace(enabled=trace)
+        self.protocol = Protocol(
+            self.env, self.transport, impl, self.mailboxes, self.trace
+        )
+        self.comms = [Communicator(self, r) for r in range(self.nprocs)]
+        self.contexts = [RankContext(self, r) for r in range(self.nprocs)]
+
+    def run(
+        self,
+        program: Callable,
+        timeout: Optional[float] = None,
+    ) -> JobResult:
+        """Run ``program`` on every rank until completion (or ``timeout``
+        in virtual seconds, reported via ``result.timed_out``)."""
+        env = self.env
+        finish_times = [float("nan")] * self.nprocs
+        returns: list[Any] = [None] * self.nprocs
+
+        def wrapper(rank: int):
+            value = yield from program(self.contexts[rank])
+            finish_times[rank] = env.now
+            returns[rank] = value
+
+        procs = [
+            env.process(wrapper(r), name=f"rank{r}") for r in range(self.nprocs)
+        ]
+        done = AllOf(env, procs)
+        if timeout is None:
+            env.run(until=done)
+            timed_out = False
+        else:
+            env.run(until=AnyOf(env, [done, env.timeout(timeout)]))
+            timed_out = not done.triggered
+            if timed_out:
+                # Keep draining nothing further; report what finished.
+                for r, proc in enumerate(procs):
+                    if not proc.triggered:
+                        finish_times[r] = float("inf")
+
+        makespan = max(finish_times) if not timed_out else float("inf")
+        return JobResult(
+            makespan=makespan,
+            rank_times=finish_times,
+            returns=returns,
+            timed_out=timed_out,
+            trace=self.trace,
+            mailbox_stats=[m.stats for m in self.mailboxes],
+        )

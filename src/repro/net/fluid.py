@@ -1,0 +1,259 @@
+"""Flow-level ("fluid") bandwidth sharing.
+
+A :class:`Pipe` is a capacity constraint (a NIC direction, a site uplink...).
+A :class:`Flow` is a byte transfer across an ordered set of pipes with an
+optional sender rate cap (used by TCP to impose its congestion window:
+``cap = cwnd / RTT``).
+
+Rates are allocated by **progressive filling** (max-min fairness with per-flow
+caps): all unfrozen flows grow at the same rate until a pipe saturates (its
+flows freeze) or a flow hits its cap (it freezes); repeat.  This is the
+standard fluid model of long-lived TCP flows sharing a network.
+
+The allocation is recomputed on every flow arrival, departure and cap change.
+Completion events are rescheduled lazily with a version token, so a
+recomputation never leaks stale events.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from repro.errors import NetworkConfigError
+from repro.sim.core import Environment, Event
+
+_EPS = 1e-12
+#: Residues below one bit are float noise from ``(t + eta) - t`` round-trips,
+#: not real payload; clamping them avoids infinite zero-delay reschedules.
+_RESIDUE_BITS = 1.0
+#: Never schedule a completion closer than this (guards clock stagnation).
+_MIN_ETA = 1e-12
+
+
+class Pipe:
+    """A single capacity constraint, in bits per second."""
+
+    __slots__ = ("name", "capacity_bps", "flows")
+
+    def __init__(self, name: str, capacity_bps: float):
+        if capacity_bps <= 0:
+            raise NetworkConfigError(f"pipe {name!r}: capacity must be positive")
+        self.name = name
+        self.capacity_bps = float(capacity_bps)
+        self.flows: set["Flow"] = set()
+
+    def __repr__(self) -> str:
+        return f"Pipe({self.name!r}, {self.capacity_bps / 1e9:.3g} Gbps, {len(self.flows)} flows)"
+
+
+class Flow:
+    """An in-flight fluid transfer."""
+
+    __slots__ = (
+        "name",
+        "pipes",
+        "remaining_bits",
+        "rate_cap_bps",
+        "rate_bps",
+        "done",
+        "_last_update",
+        "_version",
+        "started_at",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        pipes: tuple[Pipe, ...],
+        nbytes: float,
+        done: Event,
+        rate_cap_bps: float = math.inf,
+    ):
+        self.name = name
+        self.pipes = pipes
+        self.remaining_bits = float(nbytes) * 8.0
+        self.rate_cap_bps = float(rate_cap_bps)
+        self.rate_bps = 0.0
+        self.done = done
+        self._last_update = 0.0
+        self._version = 0
+        self.started_at = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Flow({self.name!r}, remaining={self.remaining_bits / 8:.0f}B, "
+            f"rate={self.rate_bps / 1e6:.1f}Mbps)"
+        )
+
+
+class FluidNetwork:
+    """Tracks active flows and allocates max-min fair rates."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.flows: set[Flow] = set()
+        #: number of rate recomputations, exposed for performance tests
+        self.recomputations = 0
+
+    # -- public API -------------------------------------------------------------
+    def start_flow(
+        self,
+        name: str,
+        pipes: Iterable[Pipe],
+        nbytes: float,
+        rate_cap_bps: float = math.inf,
+    ) -> Flow:
+        """Begin transferring ``nbytes`` across ``pipes``.
+
+        Returns the :class:`Flow`; its ``done`` event triggers when the last
+        byte leaves the last pipe.  ``rate_cap_bps`` bounds the flow's rate
+        (TCP window cap); it may be changed later with :meth:`set_rate_cap`.
+        """
+        pipes = tuple(pipes)
+        if not pipes:
+            raise NetworkConfigError(f"flow {name!r}: needs at least one pipe")
+        if nbytes < 0:
+            raise NetworkConfigError(f"flow {name!r}: negative size")
+        if rate_cap_bps <= 0:
+            raise NetworkConfigError(f"flow {name!r}: rate cap must be positive")
+        flow = Flow(name, pipes, nbytes, self.env.event(), rate_cap_bps)
+        flow._last_update = self.env.now
+        flow.started_at = self.env.now
+        if nbytes == 0:
+            flow.done.succeed(flow)
+            return flow
+        self.flows.add(flow)
+        for pipe in pipes:
+            pipe.flows.add(flow)
+        self._recompute()
+        return flow
+
+    def set_rate_cap(self, flow: Flow, rate_cap_bps: float) -> None:
+        """Change a flow's rate cap (e.g. the congestion window grew)."""
+        if rate_cap_bps <= 0:
+            raise NetworkConfigError(f"flow {flow.name!r}: rate cap must be positive")
+        if flow not in self.flows:
+            return  # already finished; harmless race with the cap updater
+        old_cap = flow.rate_cap_bps
+        if abs(rate_cap_bps - old_cap) < _EPS:
+            return
+        flow.rate_cap_bps = float(rate_cap_bps)
+        # A cap move cannot change any allocation when the flow was not
+        # cap-limited before (its pipes limit it) and the new cap still
+        # sits above its current rate.  Skipping the global recompute here
+        # is what keeps thousand-flow phases (ray2mesh's merge) tractable.
+        rate = flow.rate_bps
+        was_cap_limited = rate >= old_cap * (1.0 - 1e-9)
+        if not was_cap_limited and rate_cap_bps >= rate - _EPS:
+            return
+        self._recompute()
+
+    def abort_flow(self, flow: Flow, exc: BaseException) -> None:
+        """Fail a flow's completion event and release its capacity."""
+        if flow not in self.flows:
+            return
+        self._settle(flow)
+        self._detach(flow)
+        flow.done.fail(exc)
+        self._recompute()
+
+    # -- internals ------------------------------------------------------------------
+    def _settle(self, flow: Flow) -> None:
+        """Account bytes sent at the current rate since the last update."""
+        elapsed = self.env.now - flow._last_update
+        if elapsed > 0:
+            flow.remaining_bits -= flow.rate_bps * elapsed
+            if flow.remaining_bits < _RESIDUE_BITS:
+                flow.remaining_bits = 0.0
+        flow._last_update = self.env.now
+
+    def _detach(self, flow: Flow) -> None:
+        self.flows.discard(flow)
+        for pipe in flow.pipes:
+            pipe.flows.discard(flow)
+
+    def _recompute(self) -> None:
+        """Re-allocate rates for all active flows and reschedule completions."""
+        self.recomputations += 1
+        for flow in self.flows:
+            self._settle(flow)
+
+        rates = self._progressive_filling(self.flows)
+
+        for flow, rate in rates.items():
+            # Reschedule only flows whose rate actually moved: a completion
+            # elsewhere in the network usually leaves most flows untouched,
+            # and their pending completion timers stay valid.
+            if abs(rate - flow.rate_bps) <= _EPS * max(rate, flow.rate_bps, 1.0):
+                continue
+            flow.rate_bps = rate
+            flow._version += 1
+            if rate <= _EPS:
+                # Fully capped out or starved; cannot finish until the next
+                # recomputation changes its rate.
+                continue
+            eta = flow.remaining_bits / rate
+            self._schedule_completion(flow, eta, flow._version)
+
+    def _schedule_completion(self, flow: Flow, eta: float, version: int) -> None:
+        def on_timer(_event: Event, flow: Flow = flow, version: int = version) -> None:
+            if version != flow._version or flow not in self.flows:
+                return  # superseded by a later recomputation
+            self._settle(flow)
+            if flow.remaining_bits > 0.0:
+                # A rate change between scheduling and firing left real
+                # payload; reschedule the tail (never with a zero delay).
+                flow._version += 1
+                eta = max(flow.remaining_bits / flow.rate_bps, _MIN_ETA)
+                self._schedule_completion(flow, eta, flow._version)
+                return
+            self._detach(flow)
+            flow.done.succeed(flow)
+            self._recompute()
+
+        timer = self.env.timeout(eta)
+        timer.callbacks.append(on_timer)
+
+    @staticmethod
+    def _progressive_filling(flows: set[Flow]) -> dict[Flow, float]:
+        """Max-min fair allocation with per-flow rate caps."""
+        if not flows:
+            return {}
+        level: dict[Flow, float] = {f: 0.0 for f in flows}
+        active: set[Flow] = set(flows)
+        pipes: set[Pipe] = {p for f in flows for p in f.pipes}
+        remaining: dict[Pipe, float] = {p: p.capacity_bps for p in pipes}
+
+        while active:
+            # Equal-increment step: how much can every active flow still grow?
+            increment = math.inf
+            for pipe in pipes:
+                n_active = sum(1 for f in pipe.flows if f in active)
+                if n_active:
+                    increment = min(increment, remaining[pipe] / n_active)
+            for flow in active:
+                increment = min(increment, flow.rate_cap_bps - level[flow])
+            if not math.isfinite(increment):
+                # Only uncapped flows on unconstrained pipes — impossible,
+                # every flow crosses at least one finite pipe.
+                raise NetworkConfigError("progressive filling diverged")
+
+            for flow in active:
+                level[flow] += increment
+            for pipe in pipes:
+                n_active = sum(1 for f in pipe.flows if f in active)
+                remaining[pipe] -= increment * n_active
+
+            # Freeze flows that hit their cap or sit on a saturated pipe.
+            saturated = {p for p in pipes if remaining[p] <= _EPS * p.capacity_bps + _EPS}
+            newly_frozen = {
+                f
+                for f in active
+                if level[f] >= f.rate_cap_bps - _EPS or any(p in saturated for p in f.pipes)
+            }
+            if not newly_frozen:
+                # Numerical corner: freeze everything to guarantee progress.
+                break
+            active -= newly_frozen
+        return level

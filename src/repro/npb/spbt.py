@@ -1,0 +1,151 @@
+"""SP and BT — ADI / block-tridiagonal solvers on a square process grid.
+
+Both use the multi-partition decomposition: every iteration exchanges the
+six ghost faces (large messages), then performs three directional line
+solves, each a ``sqrt(P)-1``-stage pipeline of forward elimination
+(large interface blocks) followed by back-substitution (smaller blocks).
+
+Table 2 (16 ranks): per rank per iteration both codes send ~15 large and
+~9 medium messages; BT's mediums are ~26 kB and SP's ~50 kB, and SP runs
+2x the iterations.  "BT and SP send a lot of big messages" — which is
+why the WAN latency hurts them relatively little (Fig. 12) but their
+bandwidth demand is high.
+
+MPICH-Madeleine could not finish either on the grid (§4.3, "application
+timeout"); the suite honours ``impl.known_failures`` for this.
+"""
+
+from __future__ import annotations
+
+from repro.npb.common import PROBLEM, per_rank_flops, sampled_loop, validate_config
+
+
+def _make_program(name: str, cls: str, nprocs: int, sample_iters=None):
+    validate_config(name, cls, nprocs)
+    params = PROBLEM[name][cls]
+    n, niter = params["n"], params["niter"]
+    q = int(round(nprocs**0.5))  # process grid side
+    # One exchanged face: 5 solution components over an n x n plane slice.
+    face_bytes = max(256, 5 * 8 * n * n // q)
+    # Back-substitution interface blocks (Table 2: BT ~face/6, SP ~face/3).
+    backsub_bytes = max(128, face_bytes // (6 if name == "bt" else 3))
+    flops_per_iter = per_rank_flops(name, cls, nprocs) / niter
+
+    def program(ctx):
+        comm, rank = ctx.comm, ctx.rank
+        row, col = divmod(rank, q)
+
+        def ring(index: int, side: int, along_rows: bool):
+            """Successor on the (cyclic) pipeline of a directional solve."""
+            if along_rows:
+                return row * q + (col + side) % q
+            return ((row + side) % q) * q + col
+
+        def copy_faces():
+            # Six ghost-face exchanges with the four grid neighbours
+            # (x and y with both 2D neighbours, z within the multipartition
+            # cells — modelled as the diagonal neighbour pair).  Each axis
+            # uses the deadlock-free shift pattern: send towards +, receive
+            # from -, then the reverse.
+            axes = [
+                (ring(0, +1, True), ring(0, -1, True)),
+                (ring(0, +1, False), ring(0, -1, False)),
+                ((rank + q + 1) % nprocs, (rank - q - 1) % nprocs),
+            ]
+            for plus, minus in axes:
+                if plus == rank:
+                    continue
+                yield from comm.sendrecv(plus, face_bytes, src=minus)
+                yield from comm.sendrecv(minus, face_bytes, src=plus)
+
+        def line_solve(axis: str):
+            """One directional sweep: q-1 forward stages then q-1 back.
+
+            x sweeps left->right along rows, y top->bottom along columns,
+            z right->left along rows (the multipartition cells traverse
+            the grid in a third, distinct order).
+            """
+            if axis == "x":
+                coord = col
+                succ = rank + 1 if col < q - 1 else rank
+                pred = rank - 1 if col > 0 else rank
+            elif axis == "y":
+                coord = row
+                succ = rank + q if row < q - 1 else rank
+                pred = rank - q if row > 0 else rank
+            else:  # z: reverse row order
+                coord = q - 1 - col
+                succ = rank - 1 if col > 0 else rank
+                pred = rank + 1 if col < q - 1 else rank
+            if q == 1:
+                yield from ctx.compute(flops_per_iter / 6)
+                return
+            # forward elimination: pipeline head starts, others wait
+            if coord > 0:
+                yield from comm.recv(pred, 2)
+            yield from ctx.compute(flops_per_iter / 12)
+            if coord < q - 1:
+                yield from comm.send(succ, face_bytes, tag=2)
+            # back substitution: flows the other way with smaller blocks
+            if coord < q - 1:
+                yield from comm.recv(succ, 3)
+            yield from ctx.compute(flops_per_iter / 12)
+            if coord > 0:
+                yield from comm.send(pred, backsub_bytes, tag=3)
+
+        def iteration(_it):
+            yield from copy_faces()
+            yield from line_solve("x")
+            yield from line_solve("y")
+            yield from line_solve("z")
+            yield from ctx.compute(flops_per_iter / 2)
+
+        yield from sampled_loop(ctx, niter, sample_iters, iteration)
+        # final residual norms
+        yield from comm.allreduce(None, nbytes=40)
+
+    return program
+
+
+def make_sp_program(cls: str, nprocs: int, sample_iters=None):
+    return _make_program("sp", cls, nprocs, sample_iters)
+
+
+def make_bt_program(cls: str, nprocs: int, sample_iters=None):
+    return _make_program("bt", cls, nprocs, sample_iters)
+
+
+def make_verify_program(nprocs: int, stages_value: float = 2.0):
+    """Pipeline dependency check for the line solve: a value accumulated
+    through the forward stages and corrected on the way back must match
+    the closed-form result on every rank."""
+    q = int(round(nprocs**0.5))
+    if q * q != nprocs:
+        from repro.errors import WorkloadError
+
+        raise WorkloadError("SP/BT verification needs a square rank count")
+
+    def program(ctx):
+        comm, rank = ctx.comm, ctx.rank
+        row, col = divmod(rank, q)
+        succ = row * q + (col + 1) % q
+        pred = row * q + (col - 1) % q
+        # forward: prefix sum along the row
+        acc = float(col + 1)
+        if col > 0:
+            upstream, _ = yield from comm.recv(pred, 2)
+            acc += upstream
+        if col < q - 1:
+            yield from comm.send(succ, 64, tag=2, payload=acc)
+        # backward: everyone learns the row total
+        if col < q - 1:
+            total, _ = yield from comm.recv(succ, 3)
+        else:
+            total = acc
+        if col > 0:
+            yield from comm.send(pred, 64, tag=3, payload=total)
+        expected_total = q * (q + 1) / 2
+        expected_acc = (col + 1) * (col + 2) / 2
+        return acc == expected_acc and total == expected_total
+
+    return program

@@ -1,0 +1,6 @@
+"""Plain-text rendering of tables and figures (terminal-friendly)."""
+
+from repro.report.tables import Table
+from repro.report.plots import bar_chart, line_chart
+
+__all__ = ["Table", "bar_chart", "line_chart"]

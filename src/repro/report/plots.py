@@ -1,0 +1,83 @@
+"""ASCII charts: enough to eyeball the shape of every paper figure."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+_GLYPHS = "*o+x#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    width: int = 72,
+    height: int = 18,
+    x_labels: Optional[Sequence[str]] = None,
+    y_label: str = "",
+) -> str:
+    """Plot several (x, y) series on a shared character grid.
+
+    X positions are mapped by *index* within the union of x values (the
+    paper's bandwidth figures use logarithmic size axes, so equal spacing
+    per point is exactly right).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    xs = sorted({x for points in series.values() for x, _ in points})
+    ymax = max((y for points in series.values() for _, y in points), default=1.0)
+    ymax = ymax if ymax > 0 else 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return round(xs.index(x) * (width - 1) / max(len(xs) - 1, 1))
+
+    def row(y: float) -> int:
+        return (height - 1) - round(min(y, ymax) / ymax * (height - 1))
+
+    legend = []
+    for glyph, (name, points) in zip(_GLYPHS, series.items()):
+        legend.append(f"{glyph} {name}")
+        for x, y in points:
+            grid[row(y)][col(x)] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"ymax = {ymax:.4g} {y_label}".rstrip())
+    for r in grid:
+        lines.append("|" + "".join(r))
+    lines.append("+" + "-" * width)
+    if x_labels:
+        step = max(1, len(x_labels) // 8)
+        marks = []
+        for i in range(0, len(x_labels), step):
+            marks.append(str(x_labels[i]))
+        lines.append("  " + "  ".join(marks))
+    lines.append("  ".join(legend))
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+    reference: Optional[float] = None,
+) -> str:
+    """Horizontal bars; infinite values render as DNF (did not finish)."""
+    if not values:
+        raise ValueError("nothing to plot")
+    finite = [v for v in values.values() if v == v and v != float("inf")]
+    vmax = max(finite, default=1.0)
+    vmax = vmax if vmax > 0 else 1.0
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        if value != value or value == float("inf"):
+            lines.append(f"{name.ljust(label_width)} | DNF")
+            continue
+        bar = "#" * max(0, round(value / vmax * width))
+        lines.append(f"{name.ljust(label_width)} | {bar} {value:.3g}")
+    if reference is not None:
+        mark = round(reference / vmax * width)
+        lines.append(" " * (label_width + 3) + " " * mark + f"^ ref={reference:g}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""A small, deterministic discrete-event simulation engine.
+
+The engine follows the classic generator-coroutine design (as popularised by
+SimPy, reimplemented here from scratch): simulation *processes* are Python
+generators that ``yield`` :class:`~repro.sim.core.Event` objects and are
+resumed when those events trigger.  Virtual time only advances between
+events, so arbitrarily fine-grained timing (microsecond MPI overheads next to
+multi-second NAS phases) costs nothing.
+
+Public surface:
+
+- :class:`Environment` — event queue and clock; ``env.process(gen)``,
+  ``env.timeout(delay)``, ``env.run(until=...)``.
+- :class:`Process` — a running coroutine; also an event (its termination).
+- :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf`,
+  :class:`Interrupt`.
+- :class:`Store` / :class:`Channel` / :class:`Resource` — waitable queues.
+- :class:`RngRegistry` — named deterministic random streams.
+"""
+
+from repro.sim.core import Environment, Event, Interrupt, Process, Timeout
+from repro.sim.queues import Channel, PriorityStore, Resource, Store
+from repro.sim.rng import RngRegistry
+from repro.sim.sync import AllOf, AnyOf
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Channel",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Store",
+    "Timeout",
+]

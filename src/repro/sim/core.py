@@ -1,0 +1,327 @@
+"""Core of the discrete-event engine: events, processes, the environment.
+
+Design notes
+------------
+* The event queue is a binary heap of ``(time, priority, sequence, event)``
+  tuples.  The monotonically increasing sequence number makes scheduling
+  FIFO-stable, which in turn makes every simulation in this library fully
+  deterministic (asserted by tests).
+* Process resumptions are scheduled at priority :data:`URGENT` so that a
+  process continues before same-time timeouts of other processes fire,
+  matching the intuition that a coroutine runs until it blocks.
+* A failed event whose exception nobody consumed is re-raised by
+  :meth:`Environment.step` — silent failures in rank programs would
+  otherwise corrupt experiment results.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+URGENT = 0
+NORMAL = 1
+
+PENDING = object()  # sentinel: event value not yet decided
+
+
+class Interrupt(Exception):
+    """Thrown inside a process that another process interrupted.
+
+    The optional *cause* is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A happening the simulation can wait on.
+
+    An event goes through three states: *pending* (created), *triggered*
+    (given a value and scheduled), *processed* (callbacks have run).
+    Processes wait on an event by ``yield``-ing it.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: callables invoked with this event when it is processed; ``None``
+        #: once processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -----------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another event (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event._defused = True
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` units of virtual time after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Immediately-scheduled event used to start a new process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A running simulation coroutine.
+
+    A process is itself an event that triggers when the coroutine returns
+    (successfully, with the generator's return value) or raises (failed,
+    with the exception).  Processes can therefore wait on each other simply
+    by yielding the other process.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: the event this process is currently waiting on (None if running
+        #: or terminated)
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead {self!r}")
+        if self.env._active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, URGENT, 0.0)
+
+    # -- coroutine driving ------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with the value (or exception) of ``event``."""
+        env = self.env
+        if not self.is_alive:  # interrupted after termination already raced
+            return
+        # Stale wake-up: an interrupt arrived while we waited on _target; the
+        # target may still fire later and must not resume us twice.
+        if event is not self._target and self._target is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except (ValueError, AttributeError):
+                pass
+        env._active_process = self
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._target = None
+            env._active_process = None
+            self._value = stop.value
+            env._schedule(self, NORMAL, 0.0)
+            return
+        except BaseException as exc:
+            self._target = None
+            env._active_process = None
+            self._ok = False
+            self._value = exc
+            env._schedule(self, NORMAL, 0.0)
+            return
+        env._active_process = None
+
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {next_event!r}; processes must yield Events"
+            )
+        if next_event.env is not env:
+            raise SimulationError("cannot wait on an event from another Environment")
+        if next_event.callbacks is None:
+            # Already processed: resume immediately (urgently) with its value.
+            self._target = None
+            proxy = Event(env)
+            proxy._ok = next_event._ok
+            proxy._value = next_event._value
+            if not next_event._ok:
+                next_event._defused = True
+                proxy._defused = True
+            proxy.callbacks.append(self._resume)
+            env._schedule(proxy, URGENT, 0.0)
+        else:
+            self._target = next_event
+            next_event.callbacks.append(self._resume)
+
+
+class Environment:
+    """Holds the clock and the event queue, and drives the simulation."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories ---------------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register ``generator`` as a new process starting now."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling ----------------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("step() on an empty schedule") from None
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            raise SimulationError(f"{event!r} processed twice")
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # Nobody waited on this failure: surface it loudly.
+            raise event._value
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        Returns the value of ``until`` when it is an event; ``None``
+        otherwise.
+        """
+        if isinstance(until, Event):
+            stop = until
+            if stop.callbacks is None:  # already processed
+                if not stop._ok:
+                    stop._defused = True
+                    raise stop._value
+                return stop._value
+            done = []
+            stop.callbacks.append(lambda ev: done.append(ev))
+            while not done:
+                if not self._queue:
+                    raise SimulationError(
+                        f"simulation deadlock: queue empty but {stop!r} never triggered"
+                    )
+                self.step()
+            if not stop._ok:
+                stop._defused = True
+                raise stop._value
+            return stop._value
+
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(f"run(until={horizon}) is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = max(self._now, horizon)
+        return None

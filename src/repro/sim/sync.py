@@ -1,0 +1,95 @@
+"""Event combinators: wait for *all* or *any* of a set of events.
+
+``yield AllOf(env, events)`` resumes once every child triggered; its value is
+a dict mapping each child event to its value (insertion-ordered, so
+``list(result.values())`` matches the order the events were passed in).
+
+``yield AnyOf(env, events)`` resumes as soon as one child triggers; its value
+is a dict of the children that have triggered so far.
+
+A failing child fails the combinator with the child's exception.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import SimulationError
+from repro.sim.core import Event
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("_events", "_done")
+
+    def __init__(self, env, events: Iterable[Event]):
+        super().__init__(env)
+        self._events: tuple[Event, ...] = tuple(events)
+        self._done: set[Event] = set()
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("all events of a condition must share one Environment")
+        # Attach after validation so a raised error leaves no dangling callbacks.
+        for event in self._events:
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+        if not self._events and not self.triggered:
+            self.succeed({})
+
+    def _satisfied(self, count: int, total: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._done.add(event)
+        if self._satisfied(len(self._done), len(self._events)):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, Any]:
+        # Insertion-ordered by the original event tuple, restricted to the
+        # children that have actually completed.
+        return {ev: ev._value for ev in self._events if ev in self._done}
+
+
+class AllOf(Condition):
+    """Triggers when every child event has triggered."""
+
+    __slots__ = ()
+
+    def _satisfied(self, count: int, total: int) -> bool:
+        return count == total
+
+
+class AnyOf(Condition):
+    """Triggers when the first child event triggers."""
+
+    __slots__ = ()
+
+    def __init__(self, env, events: Iterable[Event]):
+        events = tuple(events)
+        if not events:
+            raise SimulationError("AnyOf of no events would never trigger")
+        super().__init__(env, events)
+
+    def _satisfied(self, count: int, total: int) -> bool:
+        return count >= 1
+
+
+def wait_all(env, events: Iterable[Event]) -> AllOf:
+    """Convenience alias: ``yield wait_all(env, [a, b, c])``."""
+    return AllOf(env, events)
+
+
+def wait_any(env, events: Iterable[Event]) -> AnyOf:
+    """Convenience alias: ``yield wait_any(env, [a, b])``."""
+    return AnyOf(env, events)

@@ -1,0 +1,47 @@
+"""A fluid model of Linux TCP as configured on the paper's testbed.
+
+The model reproduces the mechanisms the paper tunes and measures:
+
+* socket buffers bounded by sysctls, with kernel auto-tuning
+  (:mod:`repro.tcp.sysctl`, :mod:`repro.tcp.buffers`);
+* congestion control — slow start, BIC congestion avoidance, deterministic
+  loss on queue overshoot, idle restart (:mod:`repro.tcp.congestion`);
+* window-limited throughput ``min(cwnd, sndbuf, rcvbuf) / RTT`` on top of
+  the fluid network (:mod:`repro.tcp.connection`);
+* optional sender pacing (GridMPI's modification), modelled as the removal
+  of the burstiness penalty on the slow-start overshoot point.
+"""
+
+from repro.tcp.buffers import BufferPolicy, effective_buffers
+from repro.tcp.congestion import MSS, CongestionState
+from repro.tcp.connection import (
+    Fabric,
+    TCP_STACK_ONEWAY,
+    TcpConnection,
+    TcpOptions,
+    TransferStats,
+    WIRE_FACTOR,
+)
+from repro.tcp.sysctl import (
+    DEFAULT_SYSCTLS,
+    SysctlConfig,
+    TUNED_MAX_ONLY_SYSCTLS,
+    TUNED_SYSCTLS,
+)
+
+__all__ = [
+    "BufferPolicy",
+    "CongestionState",
+    "DEFAULT_SYSCTLS",
+    "Fabric",
+    "MSS",
+    "SysctlConfig",
+    "TCP_STACK_ONEWAY",
+    "TUNED_MAX_ONLY_SYSCTLS",
+    "TUNED_SYSCTLS",
+    "TcpConnection",
+    "TcpOptions",
+    "TransferStats",
+    "WIRE_FACTOR",
+    "effective_buffers",
+]

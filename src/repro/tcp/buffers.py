@@ -1,0 +1,81 @@
+"""Socket buffer sizing: application requests vs kernel auto-tuning.
+
+The four MPI implementations differ in how their sockets get buffers
+(§4.2.1), which is why the same sysctl tuning helps some and not others:
+
+* ``AUTOTUNE`` — the socket never calls ``setsockopt``; the kernel grows
+  the buffer from ``tcp_*mem.default`` up to ``tcp_*mem.max``.  (MPICH2,
+  MPICH-Madeleine; also the raw-TCP pingpong.)
+* ``INITIAL`` — the *receive* window stays at its initial size
+  ``tcp_rmem.default`` (the socket's usage pattern defeats receive-side
+  auto-tuning), so raising only the maxima does not help.  (GridMPI —
+  hence the paper's extra instruction to raise the middle value.)
+* ``FIXED(n)`` — the application requests ``n`` bytes via ``setsockopt``;
+  the kernel clamps the request to ``rmem_max``/``wmem_max`` **and
+  disables auto-tuning**.  (OpenMPI: 128 kB by default, overridable with
+  ``-mca btl_tcp_sndbuf/btl_tcp_rcvbuf``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TcpError
+from repro.tcp.sysctl import SysctlConfig
+
+
+@dataclass(frozen=True)
+class BufferPolicy:
+    """How one endpoint sizes its socket buffers."""
+
+    mode: str  # "autotune" | "initial" | "fixed"
+    sndbuf: Optional[int] = None  # only for mode == "fixed"
+    rcvbuf: Optional[int] = None
+
+    def __post_init__(self):
+        if self.mode not in ("autotune", "initial", "fixed"):
+            raise TcpError(f"unknown buffer mode {self.mode!r}")
+        if self.mode == "fixed":
+            if not self.sndbuf or not self.rcvbuf:
+                raise TcpError("fixed buffer policy needs sndbuf and rcvbuf")
+            if self.sndbuf <= 0 or self.rcvbuf <= 0:
+                raise TcpError("fixed buffer sizes must be positive")
+        elif self.sndbuf is not None or self.rcvbuf is not None:
+            raise TcpError(f"buffer sizes only apply to mode='fixed', not {self.mode!r}")
+
+    @staticmethod
+    def autotune() -> "BufferPolicy":
+        return BufferPolicy("autotune")
+
+    @staticmethod
+    def initial() -> "BufferPolicy":
+        return BufferPolicy("initial")
+
+    @staticmethod
+    def fixed(sndbuf: int, rcvbuf: int) -> "BufferPolicy":
+        return BufferPolicy("fixed", sndbuf=sndbuf, rcvbuf=rcvbuf)
+
+
+def effective_buffers(
+    policy: BufferPolicy,
+    sender_sysctl: SysctlConfig,
+    receiver_sysctl: SysctlConfig,
+) -> tuple[int, int]:
+    """Resolve the steady-state ``(sndbuf, rcvbuf)`` of a connection.
+
+    The send buffer lives on the sender host, the receive buffer on the
+    receiver host; each is governed by its own host's sysctls.
+    """
+    if policy.mode == "autotune":
+        snd = sender_sysctl.tcp_wmem.max_bytes
+        rcv = receiver_sysctl.tcp_rmem.max_bytes
+    elif policy.mode == "initial":
+        # Send-side auto-tuning still grows the queue; the advertised
+        # receive window is what stays pinned at its initial value.
+        snd = sender_sysctl.tcp_wmem.max_bytes
+        rcv = receiver_sysctl.tcp_rmem.default_bytes
+    else:  # fixed: setsockopt clamps against the core maxima
+        snd = min(policy.sndbuf, sender_sysctl.wmem_max)
+        rcv = min(policy.rcvbuf, receiver_sysctl.rmem_max)
+    return snd, rcv

@@ -1,0 +1,366 @@
+"""The fluid TCP connection: window-limited transfers over the network.
+
+Model summary
+-------------
+A message of ``n`` bytes becomes ``n * WIRE_FACTOR`` wire bytes (Ethernet
+and TCP/IP framing — this is what makes a 1 Gbps link carry 940 Mbps of
+application goodput).  The sender computes its effective window::
+
+    W = min(cwnd, sndbuf, rcvbuf)
+
+* ``wire <= W`` — the message fits in one window: it is sent as one
+  uncapped fluid flow (bursts at line rate / fair share).
+* ``wire > W`` — the transfer is **window-limited**: the flow is capped at
+  ``W / RTT`` and a driver wakes up every RTT to evolve the congestion
+  window (growth, or a loss event) and adjust the cap.
+
+Loss events are deterministic and happen in three situations, all on
+window growth (the window only evolves while it is the binding limit):
+
+1. **Queue overflow** — ``cwnd`` exceeds the path BDP plus the bottleneck
+   queue.  This is physical and applies to everyone; it bounds the
+   steady-state window (the ~900 Mbps plateau of Fig. 6/7).
+2. **Slow-start overshoot** — exponential growth blows through the
+   bottleneck queue long before reaching the BDP.  The overshoot point is
+   ``ss_cap / ss_cap_divisor``; a *paced* sender (GridMPI) and the plain
+   TCP pingpong have divisor 1, while unpaced MPI senders (whose
+   fragmented writes burst harder) use divisor ~2.  This is the paper's
+   observation that MPI implementations ramp slower than raw TCP (Fig. 9).
+3. **Probing losses** — while probing above the previous maximum
+   (BIC max-probing), a loss occurs every ``probe_loss_rounds`` rounds.
+   This produces the slow second-phase climb of Fig. 9; pacing stretches
+   the period.
+
+The returned timestamp of :meth:`TcpConnection.transmit` is the *arrival*
+of the last byte at the receiver: sender-side completion plus one-way
+propagation plus the receive-side stack crossing.
+
+Calibration
+-----------
+``TCP_STACK_ONEWAY`` = 12 µs makes Table 4 exact: the cluster's 41 µs TCP
+latency = 29 µs wire one-way + 12 µs stack, and the grid's 5812 µs =
+5800 µs (half of the 11.6 ms ping RTT) + 12 µs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import TcpError
+from repro.net.fluid import FluidNetwork
+from repro.net.topology import Network, Node, Route
+from repro.sim.core import Environment
+from repro.sim.queues import Resource
+from repro.sim.sync import AnyOf
+from repro.tcp.buffers import BufferPolicy, effective_buffers
+from repro.tcp.congestion import CongestionState
+from repro.tcp.sysctl import DEFAULT_SYSCTLS, SysctlConfig
+from repro.units import KB, usec
+
+#: Ethernet + IP + TCP framing per 1448-byte segment (1538 wire bytes per
+#: MSS): 1 Gbps carries ~941 Mbps of goodput, the paper's plateau.
+WIRE_FACTOR = 1538.0 / 1448.0
+
+#: Fixed wire cost of a message (minimum frame + connection bookkeeping).
+PER_MESSAGE_WIRE_BYTES = 66
+
+#: One-way host stack crossing (see module docstring: calibrated so that
+#: Table 4's raw-TCP latencies are exact).
+TCP_STACK_ONEWAY = usec(12)
+
+#: Bottleneck queue sizes (router buffer on the WAN path, switch buffer in
+#: the cluster).
+WAN_QUEUE_BYTES = 512 * KB
+LAN_QUEUE_BYTES = 256 * KB
+
+#: Default slow-start overshoot point (before the burstiness divisor).
+DEFAULT_SS_CAP_BYTES = 384 * KB
+
+#: Default probing-loss period in rounds (raw TCP / paced senders).
+DEFAULT_PROBE_LOSS_ROUNDS = 50
+
+#: Minimum retransmission timeout (Linux): bounds the idle-restart check.
+RTO_MIN = 0.2
+
+
+@dataclass(frozen=True)
+class TcpOptions:
+    """Per-connection behaviour knobs (set by the MPI implementation)."""
+
+    buffer_policy: BufferPolicy = field(default_factory=BufferPolicy.autotune)
+    #: software pacing of sends (GridMPI); informational — its effects are
+    #: carried by the two fields below.
+    paced: bool = False
+    #: divisor applied to the slow-start overshoot point; >1 for senders
+    #: whose fragmented writes burst harder than a single TCP stream.
+    ss_cap_divisor: float = 1.0
+    #: one probing loss every this many rounds above the previous maximum.
+    probe_loss_rounds: int = DEFAULT_PROBE_LOSS_ROUNDS
+    #: override the congestion control algorithm (None: host sysctl).
+    congestion_control: Optional[str] = None
+
+    def __post_init__(self):
+        if self.ss_cap_divisor < 1.0:
+            raise TcpError("ss_cap_divisor must be >= 1")
+        if self.probe_loss_rounds < 1:
+            raise TcpError("probe_loss_rounds must be >= 1")
+
+
+@dataclass
+class TransferStats:
+    """Counters of one connection direction."""
+
+    transfers: int = 0
+    payload_bytes: float = 0.0
+    window_rounds: int = 0
+    losses: int = 0
+    idle_restarts: int = 0
+
+
+class _Direction:
+    """One half of a full-duplex TCP connection."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fluid: FluidNetwork,
+        route: Route,
+        src_sysctl: SysctlConfig,
+        dst_sysctl: SysctlConfig,
+        options: TcpOptions,
+        name: str,
+    ):
+        self.env = env
+        self.fluid = fluid
+        self.route = route
+        self.options = options
+        self.name = name
+        self.sndbuf, self.rcvbuf = effective_buffers(
+            options.buffer_policy, src_sysctl, dst_sysctl
+        )
+        algo = options.congestion_control or src_sysctl.congestion_control
+        self.cc = CongestionState(algorithm=algo)
+        self.slow_start_after_idle = src_sysctl.tcp_slow_start_after_idle
+        self.stats = TransferStats()
+        self._lock = Resource(env, capacity=1)
+        #: shared with the opposite direction: a connection receiving data
+        #: is not idle, so a long pingpong turnaround must not trigger the
+        #: RFC 2861 restart (set by TcpConnection after construction).
+        self._activity = [-math.inf]
+        self._probe_rounds = 0
+
+        queue = WAN_QUEUE_BYTES if route.inter_site else LAN_QUEUE_BYTES
+        bdp = route.bottleneck_bps * route.rtt / 8.0
+        #: physical loss threshold: path BDP plus bottleneck queue (bytes).
+        self.loss_threshold = bdp + queue
+        #: slow-start overshoot point.
+        self.ss_cap = (
+            min(self.loss_threshold, DEFAULT_SS_CAP_BYTES) / options.ss_cap_divisor
+        )
+
+    # -- helpers ------------------------------------------------------------------
+    @property
+    def rtt(self) -> float:
+        return self.route.rtt
+
+    @property
+    def rto(self) -> float:
+        return max(RTO_MIN, 2.0 * self.rtt)
+
+    def window(self) -> float:
+        return min(self.cc.cwnd, self.sndbuf, self.rcvbuf)
+
+    def _cwnd_limited(self) -> bool:
+        return self.cc.cwnd <= min(self.sndbuf, self.rcvbuf)
+
+    def _on_window_round(self) -> None:
+        """Evolve the congestion window after one window-limited RTT."""
+        self.stats.window_rounds += 1
+        if not self._cwnd_limited():
+            return  # buffer-limited: the window must not evolve
+        cc = self.cc
+        if cc.in_slow_start:
+            if cc.cwnd >= self.ss_cap:
+                cc.on_loss()
+                self.stats.losses += 1
+                self._probe_rounds = 0
+            else:
+                cc.on_round()
+            return
+        if cc.cwnd >= self.loss_threshold:
+            cc.on_loss()
+            self.stats.losses += 1
+            self._probe_rounds = 0
+            return
+        if cc.cwnd >= cc.last_max:
+            self._probe_rounds += 1
+            if self._probe_rounds >= self.options.probe_loss_rounds:
+                cc.on_loss()
+                self.stats.losses += 1
+                self._probe_rounds = 0
+                return
+        cc.on_round()
+
+    # -- the transfer ----------------------------------------------------------------
+    def transmit(self, nbytes: int):
+        """Send ``nbytes``; returns the receiver-side arrival time.
+
+        Generator — drive it from a simulation process.  Concurrent
+        transmits on the same direction are serialised FIFO (one socket,
+        one progress engine: head-of-line blocking is real).
+        """
+        if nbytes < 0:
+            raise TcpError(f"cannot transmit {nbytes} bytes")
+        grant = self._lock.request()
+        yield grant
+        try:
+            env = self.env
+            last_activity = self._activity[0]
+            if (
+                self.slow_start_after_idle
+                and env.now - last_activity > self.rto
+                and last_activity >= 0
+            ):
+                self.cc.on_idle_restart()
+                self.stats.idle_restarts += 1
+
+            wire = nbytes * WIRE_FACTOR + PER_MESSAGE_WIRE_BYTES
+            self.stats.transfers += 1
+            self.stats.payload_bytes += nbytes
+
+            window = self.window()
+            if wire <= window:
+                flow = self.fluid.start_flow(self.name, self.route.pipes, wire)
+                yield flow.done
+            else:
+                flow = self.fluid.start_flow(
+                    self.name,
+                    self.route.pipes,
+                    wire,
+                    rate_cap_bps=window * 8.0 / self.rtt,
+                )
+                sent_cap = window * 8.0 / self.rtt
+                while not flow.done.triggered:
+                    # The congestion window only evolves while it is the
+                    # binding constraint (congestion window validation);
+                    # when the path share limits the flow instead, check
+                    # back lazily.  Compare against the cap the fluid layer
+                    # actually has (sent_cap): small growth steps may not
+                    # have been pushed yet.
+                    window_limited = flow.rate_bps >= 0.98 * sent_cap
+                    tick = env.timeout(self.rtt if window_limited else 8 * self.rtt)
+                    yield AnyOf(env, [flow.done, tick])
+                    if flow.done.triggered:
+                        break
+                    if window_limited:
+                        self._on_window_round()
+                        window = self.window()
+                        new_cap = window * 8.0 / self.rtt
+                        # Push only material changes (growth steps are a
+                        # few percent); shrinks (losses) always propagate.
+                        if new_cap < sent_cap or new_cap > 1.05 * sent_cap:
+                            self.fluid.set_rate_cap(flow, new_cap)
+                            sent_cap = new_cap
+            self._activity[0] = env.now
+            return env.now + self.route.one_way_delay + TCP_STACK_ONEWAY
+        finally:
+            self._lock.release(grant)
+
+
+class TcpConnection:
+    """A full-duplex TCP connection between two nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fluid: FluidNetwork,
+        network: Network,
+        a: Node,
+        b: Node,
+        options: TcpOptions,
+        sysctl_a: SysctlConfig,
+        sysctl_b: SysctlConfig,
+        name: str = "",
+    ):
+        self.env = env
+        self.a = a
+        self.b = b
+        self.name = name or f"tcp:{a.name}<->{b.name}"
+        self.forward = _Direction(
+            env, fluid, network.route(a, b), sysctl_a, sysctl_b, options,
+            f"{self.name}:fwd",
+        )
+        self.backward = _Direction(
+            env, fluid, network.route(b, a), sysctl_b, sysctl_a, options,
+            f"{self.name}:rev",
+        )
+        # One socket pair: activity in either direction keeps it warm.
+        self.backward._activity = self.forward._activity
+
+    @property
+    def rtt(self) -> float:
+        return self.forward.rtt
+
+    def direction(self, src: Node) -> _Direction:
+        if src is self.a:
+            return self.forward
+        if src is self.b:
+            return self.backward
+        raise TcpError(f"{src.name!r} is not an endpoint of {self.name!r}")
+
+    def transmit(self, src: Node, nbytes: int):
+        """Send ``nbytes`` from ``src`` to the other endpoint (generator;
+        returns the arrival time at the receiver)."""
+        return self.direction(src).transmit(nbytes)
+
+    def connect(self):
+        """Three-way handshake (generator): one RTT before data can flow."""
+        yield self.env.timeout(self.forward.rtt + 2 * TCP_STACK_ONEWAY)
+
+
+class Fabric:
+    """Binds an environment, a topology and per-cluster sysctls together.
+
+    The fabric is the factory for TCP connections; experiments mutate the
+    sysctls (the paper's §4.2.1 tuning) before the MPI job starts.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        sysctls: SysctlConfig = DEFAULT_SYSCTLS,
+    ):
+        self.env = env
+        self.network = network
+        self.fluid = FluidNetwork(env)
+        self._sysctls: dict[str, SysctlConfig] = {
+            name: sysctls for name in network.clusters
+        }
+
+    def set_sysctls(self, config: SysctlConfig, cluster: Optional[str] = None) -> None:
+        """Apply a sysctl configuration to one cluster or to every host."""
+        if cluster is None:
+            for name in self._sysctls:
+                self._sysctls[name] = config
+            return
+        if cluster not in self._sysctls:
+            raise TcpError(f"unknown cluster {cluster!r}")
+        self._sysctls[cluster] = config
+
+    def sysctls_for(self, node: Node) -> SysctlConfig:
+        return self._sysctls[node.cluster.name]
+
+    def connect(self, a: Node, b: Node, options: TcpOptions) -> TcpConnection:
+        return TcpConnection(
+            self.env,
+            self.fluid,
+            self.network,
+            a,
+            b,
+            options,
+            self.sysctls_for(a),
+            self.sysctls_for(b),
+        )

@@ -1,0 +1,27 @@
+"""The paper's tuning methodology (§4.2) as a reusable API.
+
+:mod:`repro.tuning.advisor` computes bandwidth-delay products, derives the
+sysctl and per-implementation settings the paper arrives at, and renders
+them as the concrete commands/file edits of §4.2.1-4.2.2.
+:mod:`repro.tuning.sweep` measures ideal eager/rendezvous thresholds
+empirically (Table 5).
+"""
+
+from repro.tuning.advisor import (
+    TuningRecipe,
+    advise_buffer_bytes,
+    bdp_bytes,
+    render_recipe,
+    tune_for_grid,
+)
+from repro.tuning.sweep import measure_ideal_threshold, threshold_sweep
+
+__all__ = [
+    "TuningRecipe",
+    "advise_buffer_bytes",
+    "bdp_bytes",
+    "measure_ideal_threshold",
+    "render_recipe",
+    "threshold_sweep",
+    "tune_for_grid",
+]

@@ -1,0 +1,119 @@
+"""The tuning advisor: from path properties to concrete settings.
+
+Reproduces the paper's §4.2 reasoning:
+
+1. socket buffers must hold at least ``RTT x bandwidth`` (1.45 MB for the
+   Rennes-Nancy path; the paper rounds up to 4 MB "for compatibility with
+   the rest of the grid" — i.e. the worst RTT, 19.9 ms, needs ~2.5 MB);
+2. MPICH2 and MPICH-Madeleine then just work (kernel auto-tuning);
+   GridMPI additionally needs the *initial* buffer value raised;
+   OpenMPI needs explicit ``-mca btl_tcp_sndbuf/btl_tcp_rcvbuf``;
+3. the eager/rendezvous threshold should exceed the largest message the
+   application sends (Table 5: 65 MB, or the 32 MB OpenMPI maximum).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.impls.base import MpiImplementation
+from repro.net.topology import Network
+from repro.tcp.sysctl import SysctlConfig
+from repro.units import MB, fmt_bytes
+
+#: Table 5's tuned threshold ("65 MB": above the 64 MB sweep maximum).
+GRID_EAGER_THRESHOLD = 65 * MB
+
+
+def bdp_bytes(rtt_seconds: float, bandwidth_bps: float) -> int:
+    """Bandwidth-delay product: the minimum useful socket buffer."""
+    if rtt_seconds <= 0 or bandwidth_bps <= 0:
+        raise ReproError("RTT and bandwidth must be positive")
+    return int(math.ceil(rtt_seconds * bandwidth_bps / 8.0))
+
+
+def advise_buffer_bytes(network: Network, headroom: float = 1.6) -> int:
+    """A single buffer size serving every path of the grid: the worst
+    inter-site BDP times ``headroom``, rounded up to a whole MiB.
+
+    For the paper's testbed this lands on 4 MiB, exactly their choice.
+    """
+    worst = 0
+    names = sorted(network.clusters)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            try:
+                rtt = network.rtt(a, b)
+            except ReproError:
+                continue
+            cap = min(
+                network.clusters[a].uplink.capacity_bps,
+                network.clusters[b].downlink.capacity_bps,
+            )
+            worst = max(worst, bdp_bytes(rtt, cap))
+    if worst == 0:
+        raise ReproError("network has no inter-site paths to tune for")
+    return int(math.ceil(worst * headroom / MB)) * MB
+
+
+def tune_for_grid(
+    impl: MpiImplementation,
+    buffer_bytes: int = 4 * MB,
+    eager_threshold: float = GRID_EAGER_THRESHOLD,
+) -> MpiImplementation:
+    """Apply the full §4.2 recipe to one implementation."""
+    return impl.with_socket_buffers(buffer_bytes).with_eager_threshold(eager_threshold)
+
+
+@dataclass(frozen=True)
+class TuningRecipe:
+    """Human-executable instructions for one implementation."""
+
+    impl_name: str
+    sysctl_commands: tuple[str, ...]
+    steps: tuple[str, ...]
+
+
+def render_recipe(
+    impl: MpiImplementation,
+    sysctls: SysctlConfig,
+    buffer_bytes: int = 4 * MB,
+    eager_threshold: float = GRID_EAGER_THRESHOLD,
+) -> TuningRecipe:
+    """The paper's §4.2 instructions, rendered per implementation."""
+    steps: list[str] = []
+    threshold = min(eager_threshold, impl.max_eager_threshold)
+    if impl.name == "mpich2":
+        steps.append(
+            "edit src/mpid/ch3/channels/sock/include/mpidi_ch3_post.h: "
+            f"#define MPIDI_CH3_EAGER_MAX_MSG_SIZE ({fmt_bytes(threshold)})"
+        )
+    elif impl.name == "gridmpi":
+        steps.append(
+            "raise the middle value of tcp_rmem/tcp_wmem to "
+            f"{fmt_bytes(buffer_bytes)} (GridMPI sockets keep their initial size)"
+        )
+        steps.append(
+            "rendezvous already disabled for MPI_Send by default "
+            "(_YAMPI_RSIZE can set a threshold if ever needed)"
+        )
+    elif impl.name == "madeleine":
+        steps.append(
+            "edit mpid/ch_mad/hot_stuff.h: "
+            f"#define DEFAULT_SWITCH ({fmt_bytes(threshold)})"
+        )
+    elif impl.name == "openmpi":
+        steps.append(
+            f"mpirun -mca btl_tcp_sndbuf {buffer_bytes} "
+            f"-mca btl_tcp_rcvbuf {buffer_bytes}"
+        )
+        steps.append(f"mpirun -mca btl_tcp_eager_limit {int(threshold)}")
+    else:
+        raise ReproError(f"no recipe known for implementation {impl.name!r}")
+    return TuningRecipe(
+        impl_name=impl.name,
+        sysctl_commands=tuple(sysctls.render_commands()),
+        steps=tuple(steps),
+    )

@@ -1,0 +1,88 @@
+"""Empirical eager/rendezvous threshold sweeps (Table 5).
+
+For each message size the pingpong is timed once with the message just
+*below* the threshold (eager) and once just *above* (rendezvous); the
+ideal threshold is above the largest size where eager wins.  With a
+pre-posted receive the rendezvous handshake is pure overhead, so eager
+wins everywhere and the ideal threshold is "anything above the largest
+message" — the paper reports this as 65 MB (32 MB for OpenMPI, its
+eager-limit maximum), in the cluster and on the grid alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.pingpong import mpi_pingpong
+from repro.impls.base import MpiImplementation
+from repro.net.topology import Network, Node
+from repro.units import MB, log2_sizes
+
+#: reported when eager wins at every probed size (Table 5's "65 MB")
+ABOVE_MAX = 65 * MB
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    nbytes: int
+    eager_bandwidth_mbps: float
+    rndv_bandwidth_mbps: float
+
+    @property
+    def eager_wins(self) -> bool:
+        return self.eager_bandwidth_mbps >= self.rndv_bandwidth_mbps
+
+
+def threshold_sweep(
+    impl: MpiImplementation,
+    network: Network,
+    node_a: Node,
+    node_b: Node,
+    sizes=None,
+    repeats: int = 10,
+    sysctls=None,
+) -> list[ThresholdPoint]:
+    """Compare eager vs rendezvous bandwidth at each message size."""
+    sizes = list(sizes) if sizes else log2_sizes(64 * 1024, 16 * MB)
+    points = []
+    for nbytes in sizes:
+        eager_impl = impl.with_eager_threshold(max(nbytes + 1, nbytes * 2))
+        rndv_impl = impl.with_eager_threshold(max(1, nbytes // 2))
+        eager = mpi_pingpong(
+            network, eager_impl, node_a, node_b, sizes=[nbytes],
+            repeats=repeats, sysctls=sysctls,
+        )
+        rndv = mpi_pingpong(
+            network, rndv_impl, node_a, node_b, sizes=[nbytes],
+            repeats=repeats, sysctls=sysctls,
+        )
+        points.append(
+            ThresholdPoint(
+                nbytes,
+                eager.bandwidth_at(nbytes),
+                rndv.bandwidth_at(nbytes),
+            )
+        )
+    return points
+
+
+def measure_ideal_threshold(
+    impl: MpiImplementation,
+    network: Network,
+    node_a: Node,
+    node_b: Node,
+    sizes=None,
+    repeats: int = 10,
+    sysctls=None,
+) -> float:
+    """The smallest safe threshold: just above the largest eager-winning
+    size (≈ "never use rendezvous" when eager wins everywhere), clamped to
+    the implementation's maximum."""
+    points = threshold_sweep(
+        impl, network, node_a, node_b, sizes=sizes, repeats=repeats, sysctls=sysctls
+    )
+    losing = [p.nbytes for p in points if not p.eager_wins]
+    if not losing:
+        return min(ABOVE_MAX, impl.max_eager_threshold)
+    # eager stops winning somewhere: threshold sits below the first loss
+    return float(min(min(losing), impl.max_eager_threshold))

@@ -1,0 +1,180 @@
+"""Unit helpers used across the library.
+
+The simulator works internally in **seconds** (float), **bytes** (int) and
+**bits per second** (float).  The paper mixes µs, ms, kB, MB, Mbps and Gbps;
+these helpers keep the conversions explicit and readable at call sites:
+
+>>> from repro.units import MB, Mbps, usec
+>>> 4 * MB
+4194304
+>>> Mbps(940)
+940000000.0
+>>> usec(41)
+4.1e-05
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- byte sizes (binary, as used by socket buffers and MPI thresholds) -----
+KB: int = 1024
+MB: int = 1024 * 1024
+GB: int = 1024 * 1024 * 1024
+
+
+def kb(n: float) -> int:
+    """``n`` kibibytes as an integer byte count."""
+    return int(n * KB)
+
+
+def mb(n: float) -> int:
+    """``n`` mebibytes as an integer byte count."""
+    return int(n * MB)
+
+
+# --- bit rates (decimal, as used for link speeds) ---------------------------
+def bps(n: float) -> float:
+    return float(n)
+
+
+def Kbps(n: float) -> float:
+    return n * 1e3
+
+
+def Mbps(n: float) -> float:
+    return n * 1e6
+
+
+def Gbps(n: float) -> float:
+    return n * 1e9
+
+
+# --- times -------------------------------------------------------------------
+def usec(n: float) -> float:
+    """``n`` microseconds in seconds."""
+    return n * 1e-6
+
+
+def msec(n: float) -> float:
+    """``n`` milliseconds in seconds."""
+    return n * 1e-3
+
+
+def to_usec(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def to_msec(seconds: float) -> float:
+    return seconds * 1e3
+
+
+# --- conversions -------------------------------------------------------------
+def bytes_per_second(bits_per_second: float) -> float:
+    return bits_per_second / 8.0
+
+
+def bits_per_second(byte_rate: float) -> float:
+    return byte_rate * 8.0
+
+
+def transfer_seconds(nbytes: float, rate_bps: float) -> float:
+    """Serialisation time of ``nbytes`` at ``rate_bps`` bits/second."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return nbytes * 8.0 / rate_bps
+
+
+def goodput_mbps(nbytes: float, seconds: float) -> float:
+    """Observed application-level throughput in Mbit/s."""
+    if seconds <= 0:
+        return math.inf
+    return nbytes * 8.0 / seconds / 1e6
+
+
+# --- pretty-printing ----------------------------------------------------------
+_SIZE_SUFFIXES = [(GB, "GB"), (MB, "MB"), (KB, "kB")]
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count, matching the paper's axis labels.
+
+    >>> fmt_bytes(131072)
+    '128k'
+    >>> fmt_bytes(4194304)
+    '4M'
+    """
+    for factor, suffix in ((GB, "G"), (MB, "M"), (KB, "k")):
+        if nbytes >= factor:
+            value = nbytes / factor
+            if value == int(value):
+                return f"{int(value)}{suffix}"
+            return f"{value:.1f}{suffix}"
+    return f"{int(nbytes)}"
+
+
+def fmt_rate(rate_bps: float) -> str:
+    """Human-readable bit rate.
+
+    >>> fmt_rate(940e6)
+    '940.0 Mbps'
+    """
+    if rate_bps >= 1e9:
+        return f"{rate_bps / 1e9:.2f} Gbps"
+    if rate_bps >= 1e6:
+        return f"{rate_bps / 1e6:.1f} Mbps"
+    if rate_bps >= 1e3:
+        return f"{rate_bps / 1e3:.1f} kbps"
+    return f"{rate_bps:.1f} bps"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration.
+
+    >>> fmt_time(5.8e-3)
+    '5.800 ms'
+    >>> fmt_time(4.1e-05)
+    '41.0 us'
+    """
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.1f} us"
+    return f"{seconds * 1e9:.1f} ns"
+
+
+def parse_size(text: str) -> int:
+    """Parse a size like ``'128k'``, ``'4MB'``, ``'64M'`` or ``'512'`` to bytes.
+
+    >>> parse_size('128k')
+    131072
+    >>> parse_size('4MB')
+    4194304
+    """
+    s = text.strip().lower().removesuffix("b")
+    factor = 1
+    if s and s[-1] in "kmg":
+        factor = {"k": KB, "m": MB, "g": GB}[s[-1]]
+        s = s[:-1]
+    try:
+        return int(float(s) * factor)
+    except ValueError as exc:
+        raise ValueError(f"cannot parse size {text!r}") from exc
+
+
+def log2_sizes(lo: int, hi: int) -> list[int]:
+    """Power-of-two sizes from ``lo`` to ``hi`` inclusive (paper's x axes).
+
+    >>> [fmt_bytes(s) for s in log2_sizes(1024, 8192)]
+    ['1k', '2k', '4k', '8k']
+    """
+    if lo <= 0 or hi < lo:
+        raise ValueError(f"invalid size range [{lo}, {hi}]")
+    sizes = []
+    s = lo
+    while s <= hi:
+        sizes.append(s)
+        s *= 2
+    return sizes

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.impls import get_implementation
+from repro.net import build_pair_testbed
+from repro.tcp import TUNED_SYSCTLS
+
+
+def make_cluster_job(impl_name="mpich2", nprocs=4, tuned=True, impl=None, **kwargs):
+    """An MpiJob with all ranks inside the Rennes cluster."""
+    from repro.mpi import MpiJob
+
+    net = build_pair_testbed(nodes_per_site=max(nprocs, 2))
+    placement = net.clusters["rennes"].nodes[:nprocs]
+    impl = impl or get_implementation(impl_name)
+    sysctls = TUNED_SYSCTLS if tuned else None
+    return MpiJob(net, impl, placement, sysctls=sysctls, **kwargs)
+
+
+def make_grid_job(impl_name="mpich2", nprocs=4, tuned=True, impl=None, **kwargs):
+    """An MpiJob with ranks split evenly between Rennes and Nancy."""
+    from repro.mpi import MpiJob
+
+    half = nprocs // 2
+    net = build_pair_testbed(nodes_per_site=max(half, 1) + nprocs % 2)
+    placement = (
+        net.clusters["rennes"].nodes[: half + nprocs % 2]
+        + net.clusters["nancy"].nodes[:half]
+    )
+    impl = impl or get_implementation(impl_name)
+    sysctls = TUNED_SYSCTLS if tuned else None
+    return MpiJob(net, impl, placement, sysctls=sysctls, **kwargs)
+
+
+@pytest.fixture()
+def cluster_job():
+    return make_cluster_job()
+
+
+@pytest.fixture()
+def grid_job():
+    return make_grid_job()

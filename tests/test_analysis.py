@@ -1,0 +1,78 @@
+"""Tests for the analysis package (curve metrics, exports)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    crossover_size,
+    experiment_to_dict,
+    experiment_to_json,
+    half_bandwidth_size,
+    plateau_bandwidth,
+    relative_series,
+)
+from repro.apps.pingpong import PingPongCurve, PingPongPoint
+from repro.errors import ReproError
+from repro.experiments.base import ExperimentResult
+
+
+def curve(values, label="c"):
+    points = [
+        PingPongPoint(nbytes=1024 * (2**i), min_rtt=1e-3, max_bandwidth_mbps=bw)
+        for i, bw in enumerate(values)
+    ]
+    return PingPongCurve(label, points)
+
+
+def test_plateau():
+    c = curve([10, 100, 880, 900, 920])
+    assert plateau_bandwidth(c) == pytest.approx(900)
+    with pytest.raises(ReproError):
+        plateau_bandwidth(PingPongCurve("x", []))
+
+
+def test_half_bandwidth_size():
+    c = curve([10, 100, 500, 880, 900, 920])
+    # plateau 900, half 450 -> first point >= 450 is the 4 kB one
+    assert half_bandwidth_size(c) == 4096
+    assert half_bandwidth_size(curve([1, 2, 3])) is not None
+    never = curve([1, 1, 1])
+    # plateau 1, half 0.5: first point qualifies
+    assert half_bandwidth_size(never) == 1024
+
+
+def test_crossover():
+    a = curve([100, 200, 300, 300])
+    b = curve([50, 100, 350, 400])
+    assert crossover_size(a, b) == 4096
+    assert crossover_size(b, a) is None  # b starts behind and ends ahead
+    assert crossover_size(a, curve([1, 1, 1, 1])) is None  # never crossed
+
+
+def test_relative_series():
+    times = {"mpich2": 10.0, "gridmpi": 5.0, "madeleine": float("inf")}
+    rel = relative_series(times, "mpich2")
+    assert rel == {"mpich2": 1.0, "gridmpi": 2.0, "madeleine": 0.0}
+    with pytest.raises(ReproError):
+        relative_series(times, "lam")
+
+
+def test_export_roundtrip():
+    result = ExperimentResult(
+        "table4", "t", "ref",
+        rows=[{"stack": "TCP", "grid_us": 5812.4, "dnf": float("inf")}],
+        text="...",
+    )
+    payload = json.loads(experiment_to_json(result))
+    assert payload["experiment_id"] == "table4"
+    assert payload["rows"][0]["grid_us"] == 5812.4
+    assert payload["rows"][0]["dnf"] == "inf"
+    assert experiment_to_dict(result)["paper_ref"] == "ref"
+
+
+def test_export_real_experiment():
+    from repro.experiments import run_experiment
+
+    payload = json.loads(experiment_to_json(run_experiment("table1")))
+    assert len(payload["rows"]) == 6

@@ -1,0 +1,74 @@
+"""ray2mesh tests against the paper's Tables 6 and 7 (reduced scale)."""
+
+import pytest
+
+from repro.apps import run_ray2mesh
+from repro.apps.ray2mesh import RAYS_PER_BLOCK
+from repro.errors import WorkloadError
+from repro.impls import get_implementation
+from repro.tcp import TUNED_SYSCTLS
+
+IMPL = get_implementation("mpich2")
+
+# Reduced scale for tests: 100k rays (the benchmarks run the full 1M).
+SCALE = dict(total_rays=100_000, sysctls=TUNED_SYSCTLS)
+
+
+@pytest.fixture(scope="module")
+def run_rennes():
+    return run_ray2mesh(IMPL, master_site="rennes", **SCALE)
+
+
+def test_all_rays_computed(run_rennes):
+    assert run_rennes.total_rays == 100_000
+
+
+def test_sophia_computes_most(run_rennes):
+    """Table 6: Sophia (fastest cluster) computes the most rays, Nancy
+    (slowest) the fewest."""
+    rays = run_rennes.rays_per_cluster
+    assert rays["sophia"] == max(rays.values())
+    assert rays["nancy"] == min(rays.values())
+    # Sophia's advantage is ~20-30 % (Table 6: ~36.5k vs ~29.5k per node).
+    assert 1.1 <= rays["sophia"] / rays["nancy"] <= 1.5
+
+
+def test_phase_times_positive(run_rennes):
+    assert run_rennes.comp_time > 0
+    assert run_rennes.merge_time > 0
+    assert run_rennes.total_time > run_rennes.comp_time + run_rennes.merge_time
+
+
+def test_master_placement_insensitive():
+    """Table 7: total time barely depends on the master's location (the
+    paper's conclusion: placement does not matter for this application)."""
+    totals = {}
+    for site in ("nancy", "sophia"):
+        result = run_ray2mesh(IMPL, master_site=site, **SCALE)
+        totals[site] = result.total_time
+    spread = max(totals.values()) / min(totals.values())
+    assert spread < 1.05
+
+
+def test_computing_time_placement_insensitive():
+    comps = [
+        run_ray2mesh(IMPL, master_site=site, **SCALE).comp_time
+        for site in ("rennes", "toulouse")
+    ]
+    assert max(comps) / min(comps) < 1.05
+
+
+def test_invalid_master_site():
+    with pytest.raises(WorkloadError):
+        run_ray2mesh(IMPL, master_site="atlantis", **SCALE)
+
+
+def test_invalid_ray_counts():
+    with pytest.raises(WorkloadError):
+        run_ray2mesh(IMPL, total_rays=0)
+    with pytest.raises(WorkloadError):
+        run_ray2mesh(IMPL, rays_per_block=0)
+
+
+def test_block_constant_matches_paper():
+    assert RAYS_PER_BLOCK == 1000

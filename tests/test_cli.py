@@ -1,0 +1,43 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table4" in out
+    assert "fig7" in out
+
+
+def test_run_static_table(capsys):
+    assert main(["run", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "GridMPI" in out
+    assert "[table1:" in out
+
+
+def test_run_table3(capsys):
+    assert main(["run", "table3", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "Opteron" in out
+
+
+def test_run_unknown_experiment():
+    from repro.errors import ExperimentError
+
+    with pytest.raises(ExperimentError):
+        main(["run", "fig42"])
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

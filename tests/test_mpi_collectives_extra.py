@@ -1,0 +1,127 @@
+"""Correctness of the additional collective algorithms (pipeline bcast,
+Bruck alltoall/allgather, scan) and their latency/bandwidth trade-offs."""
+
+import numpy as np
+import pytest
+
+from repro.impls import get_implementation
+from repro.mpi import MAX, SUM, MpiJob
+from repro.net import build_pair_testbed
+from repro.tcp import TUNED_SYSCTLS
+from repro.units import KB, MB
+from tests.conftest import make_cluster_job, make_grid_job
+
+
+def run_with(algo, program, nprocs=8, grid=False, impl_name="mpich2"):
+    impl = get_implementation(impl_name)
+    if algo:
+        impl = impl.with_collective(*algo)
+    maker = make_grid_job if grid else make_cluster_job
+    return maker(nprocs=nprocs, impl=impl).run(program)
+
+
+# --- pipeline bcast -------------------------------------------------------------
+@pytest.mark.parametrize("nprocs", [2, 4, 5, 8])
+@pytest.mark.parametrize("root", [0, 1])
+def test_pipeline_bcast_arrays(nprocs, root):
+    data = np.arange(150_000, dtype=np.float64)  # ~1.2 MB: deep pipeline
+
+    def program(ctx):
+        payload = data.copy() if ctx.rank == root else None
+        result = yield from ctx.comm.bcast(payload, nbytes=data.nbytes, root=root)
+        np.testing.assert_array_equal(np.asarray(result).reshape(-1), data)
+        return True
+
+    result = run_with(("bcast", "pipeline"), program, nprocs=nprocs)
+    assert all(result.returns)
+
+
+def test_pipeline_bcast_small_falls_back():
+    def program(ctx):
+        value = yield from ctx.comm.bcast(
+            "tiny" if ctx.rank == 0 else None, nbytes=64, root=0
+        )
+        assert value == "tiny"
+        return True
+
+    assert all(run_with(("bcast", "pipeline"), program).returns)
+
+
+def test_pipeline_beats_binomial_for_huge_cluster_bcast():
+    """The chain moves nbytes once per hop, fully pipelined; binomial
+    repeats the whole message log2(P) times from the root's NIC."""
+
+    def duration(algo):
+        def program(ctx):
+            t0 = ctx.wtime()
+            yield from ctx.comm.bcast(None, nbytes=64 * MB, root=0)
+            return ctx.wtime() - t0
+
+        result = run_with(("bcast", algo), program, nprocs=8)
+        return max(result.returns)
+
+    assert duration("pipeline") < duration("binomial")
+
+
+# --- Bruck ----------------------------------------------------------------------
+@pytest.mark.parametrize("nprocs", [2, 3, 4, 5, 8])
+def test_bruck_alltoall_correct(nprocs):
+    def program(ctx):
+        payloads = [(ctx.rank, d) for d in range(nprocs)]
+        blocks = yield from ctx.comm.alltoall(payloads, nbytes_each=64)
+        assert blocks == [(s, ctx.rank) for s in range(nprocs)]
+        return True
+
+    result = run_with(("alltoall", "bruck"), program, nprocs=nprocs)
+    assert all(result.returns)
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 4, 7, 8])
+def test_bruck_allgather_correct(nprocs):
+    def program(ctx):
+        blocks = yield from ctx.comm.allgather(f"b{ctx.rank}", nbytes_each=64)
+        assert blocks == [f"b{r}" for r in range(nprocs)]
+        return True
+
+    result = run_with(("allgather", "bruck"), program, nprocs=nprocs)
+    assert all(result.returns)
+
+
+def test_bruck_fewer_rounds_wins_on_wan_latency():
+    """16 tiny blocks over the WAN: Bruck's log2(P) rounds beat the
+    pairwise algorithm's P-1 rounds."""
+
+    def duration(algo):
+        def program(ctx):
+            t0 = ctx.wtime()
+            yield from ctx.comm.alltoall(
+                [None] * ctx.size, nbytes_each=64
+            )
+            return ctx.wtime() - t0
+
+        result = run_with(("alltoall", algo), program, nprocs=16, grid=True)
+        return max(result.returns)
+
+    assert duration("bruck") < 0.6 * duration("pairwise")
+
+
+# --- scan -----------------------------------------------------------------------
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 7])
+def test_scan_prefix_sums(nprocs):
+    def program(ctx):
+        result = yield from ctx.comm.scan(float(ctx.rank + 1), nbytes=8, op=SUM)
+        expected = sum(range(1, ctx.rank + 2))
+        assert result == pytest.approx(expected)
+        return True
+
+    assert all(run_with(None, program, nprocs=nprocs).returns)
+
+
+def test_scan_arrays_max():
+    def program(ctx):
+        data = np.array([float(ctx.rank), float(-ctx.rank)])
+        result = yield from ctx.comm.scan(data, nbytes=data.nbytes, op=MAX)
+        np.testing.assert_array_equal(result, [float(ctx.rank), 0.0])
+        return True
+
+    assert all(run_with(None, program, nprocs=4).returns)

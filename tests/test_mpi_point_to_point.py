@@ -1,0 +1,331 @@
+"""Point-to-point semantics: matching, ordering, eager/rendezvous, errors."""
+
+import pytest
+
+from repro.errors import MpiError, MpiTruncationError
+from repro.mpi import ANY_SOURCE, ANY_TAG, MpiJob
+from repro.impls import get_implementation
+from repro.net import build_pair_testbed
+from repro.tcp import TUNED_SYSCTLS
+from repro.units import KB, MB, msec, to_usec, usec
+from tests.conftest import make_cluster_job, make_grid_job
+
+
+def run2(job, rank0, rank1):
+    """Run a two-rank job with distinct per-rank generators."""
+
+    def program(ctx):
+        if ctx.rank == 0:
+            result = yield from rank0(ctx)
+        else:
+            result = yield from rank1(ctx)
+        return result
+
+    return job.run(program)
+
+
+def test_send_recv_payload_and_status():
+    job = make_cluster_job(nprocs=2)
+
+    def sender(ctx):
+        yield from ctx.comm.send(1, nbytes=100, tag=5, payload={"x": 42})
+
+    def receiver(ctx):
+        payload, status = yield from ctx.comm.recv(0, 5)
+        assert payload == {"x": 42}
+        assert status.source == 0
+        assert status.tag == 5
+        assert status.nbytes == 100
+        return "ok"
+
+    result = run2(job, sender, receiver)
+    assert result.returns[1] == "ok"
+
+
+def test_messages_do_not_overtake():
+    job = make_cluster_job(nprocs=2)
+    got = []
+
+    def sender(ctx):
+        for i in range(10):
+            yield from ctx.comm.send(1, nbytes=64, tag=3, payload=i)
+
+    def receiver(ctx):
+        for _ in range(10):
+            payload, _ = yield from ctx.comm.recv(0, 3)
+            got.append(payload)
+
+    run2(job, sender, receiver)
+    assert got == list(range(10))
+
+
+def test_mixed_eager_rndv_preserve_order():
+    """A rendezvous message followed by eager ones must still match first."""
+    job = make_cluster_job("mpich2", nprocs=2)  # threshold 256 kB
+    got = []
+
+    def sender(ctx):
+        yield from ctx.comm.send(1, nbytes=MB, tag=1, payload="big-rndv")
+        yield from ctx.comm.send(1, nbytes=64, tag=1, payload="small-eager")
+
+    def receiver(ctx):
+        for _ in range(2):
+            payload, _ = yield from ctx.comm.recv(0, 1)
+            got.append(payload)
+
+    run2(job, sender, receiver)
+    assert got == ["big-rndv", "small-eager"]
+
+
+def test_any_source_any_tag():
+    job = make_cluster_job(nprocs=3)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            seen = set()
+            for _ in range(2):
+                payload, status = yield from ctx.comm.recv(ANY_SOURCE, ANY_TAG)
+                seen.add((payload, status.source, status.tag))
+            return seen
+        yield from ctx.comm.send(0, nbytes=10, tag=ctx.rank * 10, payload=f"from{ctx.rank}")
+
+    result = job.run(program)
+    assert result.returns[0] == {("from1", 1, 10), ("from2", 2, 20)}
+
+
+def test_tag_selectivity():
+    """A recv on tag B must not consume an earlier message with tag A."""
+    job = make_cluster_job(nprocs=2)
+
+    def sender(ctx):
+        yield from ctx.comm.send(1, nbytes=10, tag=1, payload="first")
+        yield from ctx.comm.send(1, nbytes=10, tag=2, payload="second")
+
+    def receiver(ctx):
+        p2, _ = yield from ctx.comm.recv(0, 2)
+        p1, _ = yield from ctx.comm.recv(0, 1)
+        return (p1, p2)
+
+    result = run2(job, sender, receiver)
+    assert result.returns[1] == ("first", "second")
+
+
+def test_isend_irecv_waitall():
+    job = make_cluster_job(nprocs=2)
+
+    def sender(ctx):
+        reqs = [ctx.comm.isend(1, nbytes=100, tag=i, payload=i) for i in range(5)]
+        yield from ctx.comm.waitall(reqs)
+
+    def receiver(ctx):
+        reqs = [ctx.comm.irecv(0, i) for i in range(5)]
+        results = yield from ctx.comm.waitall(reqs)
+        return [payload for payload, _ in results]
+
+    result = run2(job, sender, receiver)
+    assert result.returns[1] == [0, 1, 2, 3, 4]
+
+
+def test_waitany():
+    job = make_cluster_job(nprocs=3)
+
+    # rank2 sends immediately; rank1 after 1 s of compute.
+    def program_fixed(ctx):
+        if ctx.rank == 0:
+            reqs = [ctx.comm.irecv(1, 0), ctx.comm.irecv(2, 0)]
+            index, (payload, _) = yield from ctx.comm.waitany(reqs)
+            return (index, payload)
+        if ctx.rank == 2:
+            yield from ctx.comm.send(0, nbytes=10, payload="fast")
+        else:
+            yield from ctx.compute_time(1.0)
+            yield from ctx.comm.send(0, nbytes=10, payload="slow")
+
+    result = job.run(program_fixed)
+    assert result.returns[0] == (1, "fast")
+
+
+def test_sendrecv_exchange():
+    job = make_cluster_job(nprocs=2)
+
+    def program(ctx):
+        other = 1 - ctx.rank
+        payload, _ = yield from ctx.comm.sendrecv(
+            other, nbytes=100, payload=f"r{ctx.rank}", src=other
+        )
+        return payload
+
+    result = job.run(program)
+    assert result.returns == ["r1", "r0"]
+
+
+def test_truncation_error():
+    job = make_cluster_job(nprocs=2)
+
+    def sender(ctx):
+        yield from ctx.comm.send(1, nbytes=1000, payload="big")
+
+    def receiver(ctx):
+        yield from ctx.comm.recv(0, max_bytes=10)
+
+    with pytest.raises(MpiTruncationError):
+        run2(job, sender, receiver)
+
+
+def test_invalid_ranks_and_tags():
+    job = make_cluster_job(nprocs=2)
+
+    def bad_dst(ctx):
+        yield from ctx.comm.send(99, nbytes=1)
+
+    with pytest.raises(MpiError):
+        job.run(bad_dst)
+
+    job2 = make_cluster_job(nprocs=2)
+
+    def bad_tag(ctx):
+        yield from ctx.comm.send(0 if ctx.rank else 1, nbytes=1, tag=-5)
+
+    with pytest.raises(MpiError):
+        job2.run(bad_tag)
+
+
+def test_unexpected_eager_pays_copy():
+    """A late-posted receive of an eager message costs an extra copy."""
+    job = make_cluster_job("gridmpi", nprocs=2)  # always eager
+    size = 8 * MB
+
+    def sender(ctx):
+        yield from ctx.comm.send(1, nbytes=size, payload=None)
+
+    def receiver(ctx):
+        yield from ctx.compute_time(2.0)  # message arrives long before
+        t0 = ctx.wtime()
+        yield from ctx.comm.recv(0)
+        return ctx.wtime() - t0
+
+    result = run2(job, sender, receiver)
+    copy_time = size / get_implementation("gridmpi").copy_bandwidth
+    assert result.returns[1] == pytest.approx(copy_time, rel=0.05)
+    assert result.mailbox_stats[1].unexpected == 1
+    assert result.mailbox_stats[1].copies_bytes == size
+
+
+def test_preposted_recv_has_no_copy():
+    job = make_cluster_job("gridmpi", nprocs=2)
+
+    def sender(ctx):
+        yield from ctx.compute_time(1.0)  # recv is posted first
+        yield from ctx.comm.send(1, nbytes=8 * MB)
+
+    def receiver(ctx):
+        yield from ctx.comm.recv(0)
+
+    result = run2(job, sender, receiver)
+    assert result.mailbox_stats[1].unexpected == 0
+    assert result.mailbox_stats[1].copies_bytes == 0
+
+
+def test_rndv_blocks_until_recv_posted():
+    """Above the threshold, a blocking send synchronises with the recv."""
+    job = make_cluster_job("mpich2", nprocs=2)
+    delay = 0.5
+
+    def sender(ctx):
+        yield from ctx.comm.send(1, nbytes=MB)  # > 256 kB: rendezvous
+        return ctx.wtime()
+
+    def receiver(ctx):
+        yield from ctx.compute_time(delay)
+        yield from ctx.comm.recv(0)
+
+    result = run2(job, sender, receiver)
+    assert result.returns[0] >= delay  # sender waited for the handshake
+
+
+def test_eager_send_does_not_block_on_recv():
+    job = make_cluster_job("mpich2", nprocs=2)
+
+    def sender(ctx):
+        yield from ctx.comm.send(1, nbytes=1 * KB)  # eager
+        return ctx.wtime()
+
+    def receiver(ctx):
+        yield from ctx.compute_time(2.0)
+        yield from ctx.comm.recv(0)
+
+    result = run2(job, sender, receiver)
+    assert result.returns[0] < 0.01  # returned as soon as buffered
+
+
+def test_grid_rndv_costs_an_extra_round_trip():
+    """The rendezvous handshake adds ~1 WAN RTT vs eager (the Fig. 7 dip)."""
+    size = 512 * KB
+
+    def one_way(impl_name, threshold):
+        impl = get_implementation(impl_name).with_eager_threshold(threshold)
+        job = make_grid_job(nprocs=2, impl=impl)
+
+        def sender(ctx):
+            yield from ctx.comm.send(1, nbytes=size)
+
+        def receiver(ctx):
+            t0 = ctx.wtime()
+            yield from ctx.comm.recv(0)
+            return ctx.wtime() - t0
+
+        return run2(job, sender, receiver).returns[1]
+
+    eager_time = one_way("mpich2", threshold=MB)
+    rndv_time = one_way("mpich2", threshold=KB)
+    assert rndv_time - eager_time == pytest.approx(msec(11.6), rel=0.25)
+
+
+def test_mpi_latency_is_tcp_plus_overhead():
+    """Table 4: MPICH2 adds ~5 us in the cluster, ~6 us on the grid."""
+
+    def latency(job):
+        def sender(ctx):
+            yield from ctx.comm.send(1, nbytes=1)
+
+        def receiver(ctx):
+            yield from ctx.comm.recv(0)
+            return ctx.wtime()
+
+        return run2(job, sender, receiver).returns[1]
+
+    lat_cluster = latency(make_cluster_job("mpich2", nprocs=2))
+    assert to_usec(lat_cluster) == pytest.approx(46, abs=2)
+    lat_grid = latency(make_grid_job("mpich2", nprocs=2))
+    assert to_usec(lat_grid) == pytest.approx(5818, abs=3)
+
+
+def test_self_send_rejected():
+    job = make_cluster_job(nprocs=2)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(0, nbytes=1)
+
+    with pytest.raises(MpiError):
+        job.run(program)
+
+
+def test_intranode_ranks_communicate():
+    """Two ranks placed on the same node use the local (memcpy) link."""
+    net = build_pair_testbed(nodes_per_site=1)
+    node = net.clusters["rennes"].nodes[0]
+    impl = get_implementation("mpich2")
+    job = MpiJob(net, impl, [node, node], sysctls=TUNED_SYSCTLS)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(1, nbytes=MB, payload="local")
+        else:
+            payload, _ = yield from ctx.comm.recv(0)
+            return (payload, ctx.wtime())
+
+    result = job.run(program)
+    payload, latency = result.returns[1]
+    assert payload == "local"
+    assert latency < usec(1000)  # a memcpy, far below any WAN latency

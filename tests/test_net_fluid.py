@@ -1,0 +1,175 @@
+"""Tests for the fluid flow-level bandwidth model."""
+
+import math
+
+import pytest
+
+from repro.errors import NetworkConfigError
+from repro.net import Flow, FluidNetwork, Pipe
+from repro.sim import Environment
+from repro.units import Gbps, MB, Mbps
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+@pytest.fixture()
+def net(env):
+    return FluidNetwork(env)
+
+
+def run_flow(env, net, pipes, nbytes, cap=math.inf):
+    flow = net.start_flow("f", pipes, nbytes, rate_cap_bps=cap)
+    env.run(until=flow.done)
+    return env.now
+
+
+def test_single_flow_full_capacity(env, net):
+    pipe = Pipe("p", Gbps(1))
+    elapsed = run_flow(env, net, [pipe], MB)
+    assert elapsed == pytest.approx(MB * 8 / 1e9)
+
+
+def test_flow_respects_rate_cap(env, net):
+    pipe = Pipe("p", Gbps(1))
+    elapsed = run_flow(env, net, [pipe], MB, cap=Mbps(100))
+    assert elapsed == pytest.approx(MB * 8 / 100e6)
+
+
+def test_bottleneck_is_slowest_pipe(env, net):
+    fast = Pipe("fast", Gbps(10))
+    slow = Pipe("slow", Mbps(100))
+    elapsed = run_flow(env, net, [fast, slow], MB)
+    assert elapsed == pytest.approx(MB * 8 / 100e6)
+
+
+def test_zero_byte_flow_completes_immediately(env, net):
+    pipe = Pipe("p", Gbps(1))
+    flow = net.start_flow("f", [pipe], 0)
+    assert flow.done.triggered
+    assert not pipe.flows
+
+
+def test_two_flows_share_fairly(env, net):
+    pipe = Pipe("p", Gbps(1))
+    f1 = net.start_flow("f1", [pipe], MB)
+    f2 = net.start_flow("f2", [pipe], MB)
+    env.run(until=f1.done)
+    t1 = env.now
+    env.run(until=f2.done)
+    t2 = env.now
+    # Both at 500 Mbps: each finishes in ~2x the solo time, together.
+    assert t1 == pytest.approx(MB * 8 / 0.5e9)
+    assert t2 == pytest.approx(t1)
+
+
+def test_departure_releases_bandwidth(env, net):
+    pipe = Pipe("p", Gbps(1))
+    small = net.start_flow("small", [pipe], MB)
+    big = net.start_flow("big", [pipe], 3 * MB)
+    env.run(until=small.done)
+    t_small = env.now
+    env.run(until=big.done)
+    t_big = env.now
+    # Phase 1: both at 500 Mbps until small (1MB) is done at t=16.78ms.
+    assert t_small == pytest.approx(MB * 8 / 0.5e9)
+    # big sent 1MB in phase 1, the last 2MB at full rate.
+    expected = t_small + 2 * MB * 8 / 1e9
+    assert t_big == pytest.approx(expected)
+
+
+def test_capped_flow_leaves_slack_to_others(env, net):
+    pipe = Pipe("p", Gbps(1))
+    capped = net.start_flow("capped", [pipe], 10 * MB, rate_cap_bps=Mbps(100))
+    greedy = net.start_flow("greedy", [pipe], MB)
+    env.run(until=greedy.done)
+    # greedy gets 900 Mbps (progressive filling redistributes the slack).
+    assert env.now == pytest.approx(MB * 8 / 900e6)
+    assert capped.rate_bps == pytest.approx(Mbps(100))
+
+
+def test_rate_cap_update_mid_flight(env, net):
+    pipe = Pipe("p", Gbps(1))
+    flow = net.start_flow("f", [pipe], 2 * MB, rate_cap_bps=Mbps(100))
+
+    def raiser():
+        yield env.timeout(0.08)  # ~1MB sent at 100 Mbps
+        net.set_rate_cap(flow, Gbps(1))
+
+    env.process(raiser())
+    env.run(until=flow.done)
+    sent_phase1 = 100e6 * 0.08 / 8  # bytes
+    expected = 0.08 + (2 * MB - sent_phase1) * 8 / 1e9
+    assert env.now == pytest.approx(expected, rel=1e-6)
+
+
+def test_abort_flow_fails_done_event(env, net):
+    pipe = Pipe("p", Gbps(1))
+    flow = net.start_flow("f", [pipe], 100 * MB)
+
+    def aborter():
+        yield env.timeout(0.01)
+        net.abort_flow(flow, RuntimeError("link down"))
+
+    def waiter(log):
+        try:
+            yield flow.done
+        except RuntimeError as exc:
+            log.append(str(exc))
+
+    log = []
+    env.process(aborter())
+    env.process(waiter(log))
+    env.run()
+    assert log == ["link down"]
+    assert not pipe.flows
+
+
+def test_three_flows_two_pipes_maxmin(env, net):
+    # a: pipe1 only; b: pipe1+pipe2; c: pipe2 only. pipe1=1G, pipe2=500M.
+    p1, p2 = Pipe("p1", Gbps(1)), Pipe("p2", Mbps(500))
+    fa = net.start_flow("a", [p1], 100 * MB)
+    fb = net.start_flow("b", [p1, p2], 100 * MB)
+    fc = net.start_flow("c", [p2], 100 * MB)
+    env.run(until=env.timeout(0.001))
+    # Max-min: b and c share p2 at 250 Mbps each; a takes the rest of p1.
+    assert fb.rate_bps == pytest.approx(Mbps(250))
+    assert fc.rate_bps == pytest.approx(Mbps(250))
+    assert fa.rate_bps == pytest.approx(Mbps(750))
+
+
+def test_flow_needs_a_pipe(env, net):
+    with pytest.raises(NetworkConfigError):
+        net.start_flow("f", [], 10)
+
+
+def test_negative_size_rejected(env, net):
+    with pytest.raises(NetworkConfigError):
+        net.start_flow("f", [Pipe("p", Gbps(1))], -1)
+
+
+def test_invalid_cap_rejected(env, net):
+    with pytest.raises(NetworkConfigError):
+        net.start_flow("f", [Pipe("p", Gbps(1))], 10, rate_cap_bps=0)
+
+
+def test_pipe_invalid_capacity():
+    with pytest.raises(NetworkConfigError):
+        Pipe("p", 0)
+
+
+def test_many_sequential_flows_cleanup(env, net):
+    pipe = Pipe("p", Gbps(1))
+
+    def sender():
+        for _ in range(100):
+            flow = net.start_flow("f", [pipe], 1024)
+            yield flow.done
+
+    env.process(sender())
+    env.run()
+    assert not net.flows
+    assert not pipe.flows
+    assert env.now == pytest.approx(100 * 1024 * 8 / 1e9)

@@ -1,0 +1,342 @@
+"""Unit tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_initial_time():
+    env = Environment(initial_time=10.0)
+    assert env.now == 10.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.5)
+        yield env.timeout(0.5)
+
+    env.process(proc())
+    env.run()
+    assert env.now == pytest.approx(2.0)
+
+
+def test_timeout_value():
+    env = Environment()
+    seen = []
+
+    def proc():
+        value = yield env.timeout(1.0, value="hello")
+        seen.append(value)
+
+    env.process(proc())
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_two_processes_interleave():
+    env = Environment()
+    trace = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        trace.append((name, env.now))
+        yield env.timeout(delay)
+        trace.append((name, env.now))
+
+    env.process(proc("a", 1.0))
+    env.process(proc("b", 1.5))
+    env.run()
+    assert trace == [("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0)]
+
+
+def test_same_time_events_fifo():
+    env = Environment()
+    trace = []
+
+    def proc(name):
+        yield env.timeout(1.0)
+        trace.append(name)
+
+    for name in "abcde":
+        env.process(proc(name))
+    env.run()
+    assert trace == list("abcde")
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(2.0)
+        return 42
+
+    def parent(results):
+        value = yield env.process(child())
+        results.append(value)
+
+    results = []
+    env.process(parent(results))
+    env.run()
+    assert results == [42]
+
+
+def test_yield_from_composition():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(1.0)
+        return "inner-done"
+
+    def outer(results):
+        value = yield from inner()
+        results.append((value, env.now))
+
+    results = []
+    env.process(outer(results))
+    env.run()
+    assert results == [("inner-done", 1.0)]
+
+
+def test_wait_on_already_finished_process():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        return "early"
+
+    def parent(results, child_proc):
+        yield env.timeout(5.0)
+        value = yield child_proc
+        results.append((value, env.now))
+
+    results = []
+    child_proc = env.process(child())
+    env.process(parent(results, child_proc))
+    env.run()
+    assert results == [("early", 5.0)]
+
+
+def test_event_succeed_once():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        ev.fail("not an exception")
+
+
+def test_unhandled_process_exception_propagates():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    env.process(bad())
+    with pytest.raises(ValueError, match="boom"):
+        env.run()
+
+
+def test_waiter_receives_child_exception():
+    env = Environment()
+    caught = []
+
+    def bad():
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield env.process(bad())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(parent())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_run_until_time():
+    env = Environment()
+    trace = []
+
+    def proc():
+        for _ in range(10):
+            yield env.timeout(1.0)
+            trace.append(env.now)
+
+    env.process(proc())
+    env.run(until=3.5)
+    assert trace == [1.0, 2.0, 3.0]
+    assert env.now == 3.5
+
+
+def test_run_until_event():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2.0)
+        return "done"
+
+    result = env.run(until=env.process(proc()))
+    assert result == "done"
+    assert env.now == 2.0
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=5.0)
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_run_until_event_deadlock_detected():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run(until=never)
+
+
+def test_step_empty_queue():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(3.0)
+    assert env.peek() == 3.0
+
+
+def test_yield_non_event_rejected():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError, match="must yield Events"):
+        env.run()
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    seen = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            seen.append((exc.cause, env.now))
+
+    def interrupter(target):
+        yield env.timeout(2.0)
+        target.interrupt(cause="wake-up")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert seen == [("wake-up", 2.0)]
+
+
+def test_interrupt_dead_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    trace = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            trace.append(("interrupted", env.now))
+        yield env.timeout(1.0)
+        trace.append(("resumed", env.now))
+
+    def interrupter(target):
+        yield env.timeout(5.0)
+        target.interrupt()
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert trace == [("interrupted", 5.0), ("resumed", 6.0)]
+
+
+def test_process_is_alive():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    proc = env.process(quick())
+    assert proc.is_alive
+    env.run()
+    assert not proc.is_alive
+
+
+def test_process_requires_generator():
+    env = Environment()
+
+    def not_a_generator():
+        return 42
+
+    with pytest.raises(SimulationError):
+        env.process(not_a_generator())  # type: ignore[arg-type]
+
+
+def test_event_value_before_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_determinism_two_runs_identical():
+    def build_and_run():
+        env = Environment()
+        trace = []
+
+        def worker(name, period):
+            for _ in range(5):
+                yield env.timeout(period)
+                trace.append((name, env.now))
+
+        env.process(worker("x", 0.3))
+        env.process(worker("y", 0.7))
+        env.process(worker("z", 0.3))
+        env.run()
+        return trace
+
+    assert build_and_run() == build_and_run()

@@ -1,0 +1,275 @@
+"""Tests for event combinators, stores, channels and resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Channel, Environment, PriorityStore, Resource, Store
+
+
+# --- AllOf / AnyOf -------------------------------------------------------------
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    seen = []
+
+    def proc():
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(3.0, value="b")
+        result = yield AllOf(env, [t1, t2])
+        seen.append((list(result.values()), env.now))
+
+    env.process(proc())
+    env.run()
+    assert seen == [(["a", "b"], 3.0)]
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+    seen = []
+
+    def proc():
+        result = yield AllOf(env, [])
+        seen.append((result, env.now))
+
+    env.process(proc())
+    env.run()
+    assert seen == [({}, 0.0)]
+
+
+def test_any_of_first_wins():
+    env = Environment()
+    seen = []
+
+    def proc():
+        slow = env.timeout(9.0, value="slow")
+        fast = env.timeout(1.0, value="fast")
+        result = yield AnyOf(env, [slow, fast])
+        seen.append((list(result.values()), env.now))
+
+    env.process(proc())
+    env.run()
+    assert seen == [(["fast"], 1.0)]
+
+
+def test_any_of_empty_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        AnyOf(env, [])
+
+
+def test_all_of_child_failure_propagates():
+    env = Environment()
+    caught = []
+
+    def failer():
+        yield env.timeout(1.0)
+        raise RuntimeError("child died")
+
+    def proc():
+        try:
+            yield AllOf(env, [env.process(failer()), env.timeout(10.0)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(proc())
+    env.run()
+    assert caught == ["child died"]
+
+
+def test_all_of_with_processed_events():
+    env = Environment()
+    seen = []
+
+    def proc():
+        early = env.timeout(1.0, value=1)
+        yield env.timeout(5.0)
+        result = yield AllOf(env, [early, env.timeout(1.0, value=2)])
+        seen.append((sorted(result.values()), env.now))
+
+    env.process(proc())
+    env.run()
+    assert seen == [([1, 2], 6.0)]
+
+
+# --- Store ----------------------------------------------------------------------
+def test_store_put_then_get():
+    env = Environment()
+    seen = []
+
+    def producer(store):
+        yield store.put("item-1")
+        yield store.put("item-2")
+
+    def consumer(store):
+        a = yield store.get()
+        b = yield store.get()
+        seen.append([a, b])
+
+    store = Store(env)
+    env.process(producer(store))
+    env.process(consumer(store))
+    env.run()
+    assert seen == [["item-1", "item-2"]]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    seen = []
+
+    def consumer(store):
+        item = yield store.get()
+        seen.append((item, env.now))
+
+    def producer(store):
+        yield env.timeout(4.0)
+        yield store.put("late")
+
+    store = Store(env)
+    env.process(consumer(store))
+    env.process(producer(store))
+    env.run()
+    assert seen == [("late", 4.0)]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    trace = []
+
+    def producer(store):
+        yield store.put(1)
+        trace.append(("put1", env.now))
+        yield store.put(2)
+        trace.append(("put2", env.now))
+
+    def consumer(store):
+        yield env.timeout(3.0)
+        item = yield store.get()
+        trace.append(("got", item, env.now))
+
+    store = Store(env, capacity=1)
+    env.process(producer(store))
+    env.process(consumer(store))
+    env.run()
+    assert trace == [("put1", 0.0), ("got", 1, 3.0), ("put2", 3.0)]
+
+
+def test_store_fifo_ordering():
+    env = Environment()
+    got = []
+
+    def producer(store):
+        for i in range(5):
+            yield store.put(i)
+
+    def consumer(store):
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    store = Store(env)
+    env.process(producer(store))
+    env.process(consumer(store))
+    env.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+# --- PriorityStore ---------------------------------------------------------------
+def test_priority_store_orders_items():
+    env = Environment()
+    got = []
+
+    def producer(store):
+        for value in (5, 1, 3):
+            yield store.put(value)
+
+    def consumer(store):
+        yield env.timeout(1.0)
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    store = PriorityStore(env)
+    env.process(producer(store))
+    env.process(consumer(store))
+    env.run()
+    assert got == [1, 3, 5]
+
+
+# --- Channel -----------------------------------------------------------------------
+def test_channel_put_nowait():
+    env = Environment()
+    got = []
+
+    def consumer(chan):
+        item = yield chan.get()
+        got.append(item)
+
+    chan = Channel(env)
+    chan.put_nowait("signal")
+    env.process(consumer(chan))
+    env.run()
+    assert got == ["signal"]
+    assert chan.pending == 0
+
+
+# --- Resource ------------------------------------------------------------------------
+def test_resource_serialises_holders():
+    env = Environment()
+    trace = []
+
+    def worker(name, res):
+        req = res.request()
+        yield req
+        trace.append((name, "acquired", env.now))
+        yield env.timeout(2.0)
+        res.release(req)
+
+    res = Resource(env, capacity=1)
+    env.process(worker("a", res))
+    env.process(worker("b", res))
+    env.run()
+    assert trace == [("a", "acquired", 0.0), ("b", "acquired", 2.0)]
+
+
+def test_resource_capacity_two():
+    env = Environment()
+    trace = []
+
+    def worker(name, res):
+        req = res.request()
+        yield req
+        trace.append((name, env.now))
+        yield env.timeout(1.0)
+        res.release(req)
+
+    res = Resource(env, capacity=2)
+    for name in "abc":
+        env.process(worker(name, res))
+    env.run()
+    assert trace == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+def test_resource_double_release_rejected():
+    env = Environment()
+    res = Resource(env)
+
+    def worker():
+        req = res.request()
+        yield req
+        res.release(req)
+        res.release(req)
+
+    env.process(worker())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)

@@ -1,0 +1,126 @@
+"""Tests for sysctl configs and socket buffer resolution."""
+
+import pytest
+
+from repro.errors import TcpError
+from repro.tcp import (
+    BufferPolicy,
+    DEFAULT_SYSCTLS,
+    SysctlConfig,
+    TUNED_MAX_ONLY_SYSCTLS,
+    TUNED_SYSCTLS,
+    effective_buffers,
+)
+from repro.tcp.sysctl import BufferTriple
+from repro.units import KB, MB
+
+
+def test_default_sysctls_are_linux_2618():
+    cfg = DEFAULT_SYSCTLS
+    assert cfg.rmem_max == 131071
+    assert cfg.wmem_max == 131071
+    assert cfg.tcp_rmem.default_bytes == 87380
+    assert cfg.tcp_rmem.max_bytes == 174760
+    assert cfg.congestion_control == "bic"  # Table 3: BIC + Sack
+    assert cfg.tcp_slow_start_after_idle
+
+
+def test_with_buffer_max():
+    cfg = DEFAULT_SYSCTLS.with_buffer_max(4 * MB)
+    assert cfg.rmem_max == 4 * MB
+    assert cfg.wmem_max == 4 * MB
+    assert cfg.tcp_rmem.max_bytes == 4 * MB
+    assert cfg.tcp_wmem.max_bytes == 4 * MB
+    # middle value untouched (this is GridMPI's problem)
+    assert cfg.tcp_rmem.default_bytes == 87380
+
+
+def test_with_buffer_default():
+    cfg = DEFAULT_SYSCTLS.with_buffer_default(4 * MB)
+    assert cfg.tcp_rmem.default_bytes == 4 * MB
+    assert cfg.tcp_wmem.default_bytes == 4 * MB
+    assert cfg.tcp_rmem.max_bytes == 4 * MB  # max lifted to stay consistent
+
+
+def test_tuned_sysctls():
+    assert TUNED_SYSCTLS.tcp_rmem.default_bytes == 4 * MB
+    assert TUNED_SYSCTLS.tcp_rmem.max_bytes == 4 * MB
+    assert TUNED_MAX_ONLY_SYSCTLS.tcp_rmem.default_bytes == 87380
+
+
+def test_invalid_buffer_triple():
+    with pytest.raises(TcpError):
+        BufferTriple(100, 50, 200)  # default < min
+    with pytest.raises(TcpError):
+        BufferTriple(100, 200, 150)  # max < default
+
+
+def test_invalid_congestion_control():
+    with pytest.raises(TcpError):
+        SysctlConfig(congestion_control="cubic-from-the-future")
+
+
+def test_render_commands():
+    cmds = TUNED_SYSCTLS.render_commands()
+    assert f"echo {4 * MB} > /proc/sys/net/core/rmem_max" in cmds
+    assert any("tcp_rmem" in c for c in cmds)
+    assert any("tcp_wmem" in c for c in cmds)
+
+
+# --- buffer policies -----------------------------------------------------------
+def test_autotune_uses_max():
+    snd, rcv = effective_buffers(BufferPolicy.autotune(), DEFAULT_SYSCTLS, DEFAULT_SYSCTLS)
+    assert snd == 174760
+    assert rcv == 174760
+
+
+def test_initial_pins_receive_window():
+    snd, rcv = effective_buffers(BufferPolicy.initial(), DEFAULT_SYSCTLS, DEFAULT_SYSCTLS)
+    assert snd == 174760  # send side still auto-tunes
+    assert rcv == 87380  # receive window stuck at the initial value
+    # raising only the maxima does not help (the paper's GridMPI finding)
+    snd, rcv = effective_buffers(
+        BufferPolicy.initial(), TUNED_MAX_ONLY_SYSCTLS, TUNED_MAX_ONLY_SYSCTLS
+    )
+    assert rcv == 87380
+    # raising the middle value does
+    snd, rcv = effective_buffers(BufferPolicy.initial(), TUNED_SYSCTLS, TUNED_SYSCTLS)
+    assert rcv == 4 * MB
+
+
+def test_fixed_clamped_by_core_max():
+    policy = BufferPolicy.fixed(4 * MB, 4 * MB)
+    snd, rcv = effective_buffers(policy, DEFAULT_SYSCTLS, DEFAULT_SYSCTLS)
+    # rmem_max/wmem_max = 128k: the request is silently clamped — exactly
+    # why OpenMPI's mca knobs need the sysctl tuning as well.
+    assert snd == 131071
+    assert rcv == 131071
+    snd, rcv = effective_buffers(policy, TUNED_SYSCTLS, TUNED_SYSCTLS)
+    assert snd == 4 * MB
+    assert rcv == 4 * MB
+
+
+def test_openmpi_default_128k_fixed():
+    policy = BufferPolicy.fixed(128 * KB, 128 * KB)
+    snd, rcv = effective_buffers(policy, TUNED_SYSCTLS, TUNED_SYSCTLS)
+    # Even on a tuned kernel, a fixed 128 kB request stays 128 kB: the mca
+    # parameters are mandatory for OpenMPI on the grid.
+    assert snd == 128 * KB
+    assert rcv == 128 * KB
+
+
+def test_mixed_hosts_use_their_own_sysctls():
+    snd, rcv = effective_buffers(BufferPolicy.autotune(), TUNED_SYSCTLS, DEFAULT_SYSCTLS)
+    assert snd == 4 * MB  # sender tuned
+    assert rcv == 174760  # receiver not
+
+
+def test_policy_validation():
+    with pytest.raises(TcpError):
+        BufferPolicy("banana")
+    with pytest.raises(TcpError):
+        BufferPolicy("fixed")  # missing sizes
+    with pytest.raises(TcpError):
+        BufferPolicy("fixed", sndbuf=-1, rcvbuf=100)
+    with pytest.raises(TcpError):
+        BufferPolicy("autotune", sndbuf=100, rcvbuf=100)

@@ -1,0 +1,112 @@
+"""Tuning advisor and threshold sweep tests (§4.2, Table 5)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.impls import ALL_IMPLEMENTATIONS, get_implementation
+from repro.net import build_pair_testbed, build_ray2mesh_testbed
+from repro.tcp import TUNED_SYSCTLS
+from repro.tuning import (
+    advise_buffer_bytes,
+    bdp_bytes,
+    measure_ideal_threshold,
+    render_recipe,
+    threshold_sweep,
+    tune_for_grid,
+)
+from repro.tuning.sweep import ABOVE_MAX
+from repro.units import Gbps, KB, MB, msec
+
+
+def test_bdp_rennes_nancy():
+    """§4.2.1: 'the socket buffer has to be set to at least 1.45 MB
+    (RTT=11.6 ms, bandwidth=1 Gbps)'."""
+    assert bdp_bytes(msec(11.6), Gbps(1)) == pytest.approx(1_450_000, rel=0.01)
+
+
+def test_bdp_validation():
+    with pytest.raises(ReproError):
+        bdp_bytes(0, Gbps(1))
+    with pytest.raises(ReproError):
+        bdp_bytes(0.01, -1)
+
+
+def test_advise_buffer_is_4mb_for_the_paper_testbed():
+    """The paper sets 4 MB 'for compatibility with the rest of the grid'."""
+    net = build_ray2mesh_testbed()  # worst path: 19.9 ms -> BDP 2.5 MB
+    assert advise_buffer_bytes(net) == 4 * MB
+
+
+def test_advise_buffer_pair_testbed():
+    net = build_pair_testbed()
+    advised = advise_buffer_bytes(net)
+    assert advised >= bdp_bytes(msec(11.6), Gbps(1))
+    assert advised % MB == 0
+
+
+def test_advise_requires_inter_site_paths():
+    from repro.net import Network
+
+    net = Network()
+    net.add_cluster("solo").add_nodes(2)
+    with pytest.raises(ReproError):
+        advise_buffer_bytes(net)
+
+
+def test_tune_for_grid():
+    openmpi = tune_for_grid(get_implementation("openmpi"))
+    assert openmpi.buffer_policy.sndbuf == 4 * MB
+    assert openmpi.eager_threshold == 32 * MB  # clamped to its maximum
+    mpich2 = tune_for_grid(get_implementation("mpich2"))
+    assert mpich2.eager_threshold == 65 * MB
+    assert mpich2.buffer_policy.mode == "autotune"  # kernel-governed
+
+
+def test_recipes_mention_the_papers_knobs():
+    for name, impl in ALL_IMPLEMENTATIONS.items():
+        recipe = render_recipe(impl, TUNED_SYSCTLS)
+        assert recipe.impl_name == name
+        assert any("rmem_max" in c for c in recipe.sysctl_commands)
+        text = " ".join(recipe.steps)
+        if name == "mpich2":
+            assert "MPIDI_CH3_EAGER_MAX_MSG_SIZE" in text
+        elif name == "gridmpi":
+            assert "middle value" in text
+        elif name == "madeleine":
+            assert "DEFAULT_SWITCH" in text
+        elif name == "openmpi":
+            assert "btl_tcp_sndbuf" in text
+            assert "btl_tcp_eager_limit" in text
+
+
+def test_threshold_sweep_grid_eager_always_wins():
+    """Table 5: with pre-posted receives, eager wins at every size on the
+    grid, so the ideal threshold is 65 MB (32 MB for OpenMPI)."""
+    net = build_pair_testbed(nodes_per_site=1)
+    a = net.clusters["rennes"].nodes[0]
+    b = net.clusters["nancy"].nodes[0]
+    sizes = [256 * KB, MB, 4 * MB]
+    for name, expected in (("mpich2", 65 * MB), ("openmpi", 32 * MB)):
+        impl = get_implementation(name).with_socket_buffers(4 * MB)
+        ideal = measure_ideal_threshold(
+            impl, net, a, b, sizes=sizes, repeats=4, sysctls=TUNED_SYSCTLS
+        )
+        assert ideal == expected, name
+
+
+def test_threshold_sweep_points_show_rndv_penalty():
+    net = build_pair_testbed(nodes_per_site=1)
+    a = net.clusters["rennes"].nodes[0]
+    b = net.clusters["nancy"].nodes[0]
+    impl = get_implementation("mpich2")
+    points = threshold_sweep(
+        impl, net, a, b, sizes=[512 * KB], repeats=5, sysctls=TUNED_SYSCTLS
+    )
+    (point,) = points
+    assert point.eager_wins
+    # the WAN handshake costs real bandwidth at this size
+    assert point.eager_bandwidth_mbps > 1.2 * point.rndv_bandwidth_mbps
+
+
+def test_above_max_constant():
+    assert ABOVE_MAX == 65 * MB

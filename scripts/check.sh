@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full local CI gate: ruff + mypy (when installed) + repro lint + pytest.
+#
+# ruff and mypy are optional dev tools — the container image does not bake
+# them in, and the repo must not pip-install at check time — so each is
+# skipped with a notice when absent.  `repro lint` and pytest are always
+# run; pytest itself re-runs the lint pass via the conftest session gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+status=0
+
+if python -m ruff --version >/dev/null 2>&1; then
+    echo "== ruff =="
+    python -m ruff check src/repro tests || status=1
+else
+    echo "== ruff == (not installed; skipped)"
+fi
+
+if python -m mypy --version >/dev/null 2>&1; then
+    echo "== mypy (repro.analysis, warnings-as-errors) =="
+    python -m mypy --warn-unused-ignores --warn-redundant-casts \
+        -p repro.analysis || status=1
+else
+    echo "== mypy == (not installed; skipped)"
+fi
+
+echo "== repro lint =="
+python -m repro lint || status=1
+
+echo "== pytest =="
+python -m pytest -x -q || status=1
+
+exit $status

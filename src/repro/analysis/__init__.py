@@ -1,4 +1,15 @@
-"""Post-processing of experiment results: curve metrics and exports."""
+"""Analysis tooling: result post-processing, static lint, runtime sanitizer.
+
+Two halves live here:
+
+* **result analysis** — curve metrics (:mod:`repro.analysis.curves`) and
+  exports (:mod:`repro.analysis.export`) over finished experiments;
+* **correctness tooling** — the determinism/unit-safety linter
+  (:mod:`repro.analysis.linter` + :mod:`repro.analysis.passes`) and the
+  runtime determinism sanitizer (:mod:`repro.analysis.sanitizer`), surfaced
+  as ``repro lint`` / ``repro sanitize`` and as the pytest session gate
+  (:mod:`repro.analysis.pytest_plugin`).
+"""
 
 from repro.analysis.curves import (
     crossover_size,
@@ -7,12 +18,28 @@ from repro.analysis.curves import (
     relative_series,
 )
 from repro.analysis.export import experiment_to_dict, experiment_to_json
+from repro.analysis.linter import (
+    RULE_CATALOG,
+    Linter,
+    Violation,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.sanitizer import SanitizeReport, sanitize, trace_experiment
 
 __all__ = [
+    "Linter",
+    "RULE_CATALOG",
+    "SanitizeReport",
+    "Violation",
     "crossover_size",
     "experiment_to_dict",
     "experiment_to_json",
     "half_bandwidth_size",
+    "lint_paths",
+    "lint_source",
     "plateau_bandwidth",
     "relative_series",
+    "sanitize",
+    "trace_experiment",
 ]

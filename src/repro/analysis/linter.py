@@ -1,0 +1,126 @@
+"""Determinism & unit-safety linter over ``src/repro/**``.
+
+The driver parses each module once, hands the :class:`ModuleContext` to
+every registered pass, applies ``# lint: disable=<rule>`` pragmas, and
+returns sorted, de-duplicated :class:`Violation` records.
+
+Used three ways:
+
+* ``repro lint [paths...]`` (CLI, exit 1 on violations),
+* the pytest session gate (``repro.analysis.pytest_plugin``),
+* programmatically: ``lint_source(...)`` in the rule unit tests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.passes import ALL_PASSES, RULE_CATALOG, LintPass
+from repro.analysis.passes.base import ModuleContext, Violation
+
+__all__ = ["Linter", "RULE_CATALOG", "Violation", "lint_paths", "lint_source", "source_root"]
+
+
+class Linter:
+    """Configurable driver: which passes run, which rules are selected."""
+
+    def __init__(
+        self,
+        passes: Optional[Sequence[type[LintPass]]] = None,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ):
+        self.passes: list[LintPass] = [cls() for cls in (passes or ALL_PASSES)]
+        self.select = frozenset(r.upper() for r in select) if select else None
+        self.ignore = frozenset(r.upper() for r in ignore) if ignore else frozenset()
+
+    # -- single module -----------------------------------------------------------
+    def lint_source(
+        self, source: str, path: str = "<string>", module_name: str = ""
+    ) -> list[Violation]:
+        try:
+            ctx = ModuleContext.parse(source, path=path, module_name=module_name)
+        except SyntaxError as exc:
+            return [
+                Violation(
+                    path,
+                    exc.lineno or 1,
+                    "PARSE",
+                    f"syntax error: {exc.msg}",
+                    "file must parse before it can be linted",
+                )
+            ]
+        found: set[Violation] = set()
+        for lint_pass in self.passes:
+            for violation in lint_pass.check(ctx):
+                if self.select is not None and violation.rule not in self.select:
+                    continue
+                if violation.rule in self.ignore:
+                    continue
+                if ctx.suppressed(violation.line, violation.rule):
+                    continue
+                found.add(violation)
+        return sorted(found, key=lambda v: (v.path, v.line, v.rule, v.message))
+
+    def lint_file(self, path: "str | Path") -> list[Violation]:
+        path = Path(path)
+        return self.lint_source(
+            path.read_text(encoding="utf-8"),
+            path=str(path),
+            module_name=_module_name_for(path),
+        )
+
+    def lint_paths(self, paths: Iterable["str | Path"]) -> list[Violation]:
+        violations: list[Violation] = []
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                for file in sorted(path.rglob("*.py")):
+                    violations.extend(self.lint_file(file))
+            elif path.suffix == ".py":
+                violations.extend(self.lint_file(path))
+        return violations
+
+
+def _module_name_for(path: Path) -> str:
+    """Best-effort dotted module name ('.../src/repro/sim/rng.py' -> 'repro.sim.rng')."""
+    parts = list(path.with_suffix("").parts)
+    for anchor in ("repro",):
+        if anchor in parts:
+            return ".".join(parts[parts.index(anchor):])
+    return path.stem
+
+
+def source_root() -> Path:
+    """The installed ``repro`` package directory (default lint target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def lint_paths(
+    paths: Optional[Iterable["str | Path"]] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> list[Violation]:
+    """Lint ``paths`` (default: the repro package itself)."""
+    linter = Linter(select=select, ignore=ignore)
+    return linter.lint_paths(paths if paths is not None else [source_root()])
+
+
+def lint_source(source: str, path: str = "<string>", **kwargs) -> list[Violation]:
+    return Linter(**kwargs).lint_source(source, path=path)
+
+
+def render_report(violations: Sequence[Violation]) -> str:
+    """The CLI / pytest-gate report: one line per hit plus a summary."""
+    if not violations:
+        return "repro lint: clean"
+    lines = [v.render() for v in violations]
+    by_rule: dict[str, int] = {}
+    for v in violations:
+        by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+    summary = ", ".join(f"{rule} x{count}" for rule, count in sorted(by_rule.items()))
+    lines.append(f"repro lint: {len(violations)} violation(s) ({summary})")
+    return "\n".join(lines)

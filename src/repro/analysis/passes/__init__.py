@@ -1,0 +1,31 @@
+"""Lint pass registry: one module per rule family."""
+
+from __future__ import annotations
+
+from repro.analysis.passes.base import LintPass, ModuleContext, Violation
+from repro.analysis.passes.det import DeterminismPass
+from repro.analysis.passes.sim import SimContractPass
+from repro.analysis.passes.unit import UnitSafetyPass
+
+#: all pass classes, in reporting order
+ALL_PASSES: tuple[type[LintPass], ...] = (
+    DeterminismPass,
+    UnitSafetyPass,
+    SimContractPass,
+)
+
+#: rule id -> one-line description, the complete catalog
+RULE_CATALOG: dict[str, str] = {
+    rule: text for cls in ALL_PASSES for rule, text in cls.rules.items()
+}
+
+__all__ = [
+    "ALL_PASSES",
+    "RULE_CATALOG",
+    "DeterminismPass",
+    "LintPass",
+    "ModuleContext",
+    "SimContractPass",
+    "UnitSafetyPass",
+    "Violation",
+]

@@ -1,0 +1,152 @@
+"""Shared infrastructure for lint passes.
+
+A pass receives a fully-parsed :class:`ModuleContext` — the AST, the raw
+source lines, the resolved import aliases and the per-line pragma table —
+and yields :class:`Violation` records.  Pragma suppression is applied by
+the driver, not by the passes, so a pass never needs to know about
+``# lint: disable=...`` comments.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: ``# lint: disable=DET001`` or ``# lint: disable=DET001,UNIT002``
+_PRAGMA = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit: where, what, and how to fix it."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"  [hint: {self.hint}]"
+        return text
+
+
+@dataclass
+class ModuleContext:
+    """Everything a pass needs to know about one source module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    module_name: str = ""
+    #: line number -> set of rule ids disabled on that line
+    pragmas: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: local alias -> fully dotted module/object path ("np" -> "numpy")
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, source: str, path: str = "<string>", module_name: str = "") -> "ModuleContext":
+        tree = ast.parse(source, filename=path)
+        ctx = cls(path=path, source=source, tree=tree, module_name=module_name)
+        ctx.pragmas = _collect_pragmas(source)
+        ctx.aliases = _collect_aliases(tree)
+        return ctx
+
+    # -- name resolution -------------------------------------------------------
+    def resolve(self, node: ast.AST) -> str:
+        """Dotted path of a Name/Attribute chain with import aliases expanded.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        when the module did ``import numpy as np``; unresolvable heads
+        (locals, attributes of objects) keep their surface spelling.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(self.aliases.get(node.id, node.id))
+        else:
+            return ""
+        return ".".join(reversed(parts))
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        return rule in self.pragmas.get(line, frozenset())
+
+
+def _collect_pragmas(source: str) -> dict[int, frozenset[str]]:
+    pragmas: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(text)
+        if match:
+            rules = frozenset(
+                part.strip().upper() for part in match.group(1).split(",") if part.strip()
+            )
+            if rules:
+                pragmas[lineno] = rules
+    return pragmas
+
+
+def _collect_aliases(tree: ast.Module) -> dict[str, str]:
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+class LintPass:
+    """Base class: a family of related rules sharing one AST walk."""
+
+    #: rule id -> one-line description (the rule catalog)
+    rules: dict[str, str] = {}
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+def is_generator(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> bool:
+    """True when ``func`` contains a yield that belongs to it (not to a
+    nested function)."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            owner = _owning_function(func, node)
+            if owner is func:
+                return True
+    return False
+
+
+def _owning_function(root: ast.AST, target: ast.AST):
+    """Innermost function of ``root``'s tree containing ``target``."""
+    owner = None
+    stack = [(root, root if isinstance(root, (ast.FunctionDef, ast.AsyncFunctionDef)) else None)]
+    while stack:
+        node, current = stack.pop()
+        if node is target:
+            return current
+        for child in ast.iter_child_nodes(node):
+            child_owner = (
+                child
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                else current
+            )
+            stack.append((child, child_owner))
+    return owner
+
+
+def functions_of(tree: ast.Module) -> Iterator["ast.FunctionDef | ast.AsyncFunctionDef"]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

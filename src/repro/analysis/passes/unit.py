@@ -1,0 +1,158 @@
+"""UNIT rules: bytes-vs-bits/s discipline and float time comparisons.
+
+``units.py`` keeps byte counts (binary: kB = 1024 B) and link rates
+(decimal: Mbps = 1e6 bit/s) in separate helper families.  The paper's
+TCP-buffer analysis (buffer >= BDP = rate x RTT / 8) mixes both in one
+formula, which is exactly where a `Mbps` value slipped into a byte slot —
+or a bare magic number slipped into a rate slot — corrupts every figure
+downstream.  The pass tags the helpers' return values (a lightweight,
+purely syntactic inference) and checks call-site keyword positions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.analysis.passes.base import LintPass, ModuleContext, Violation
+
+#: helpers whose return value is a decimal bit rate (units.Rate)
+_RATE_HELPERS = {
+    "repro.units.bps",
+    "repro.units.Kbps",
+    "repro.units.Mbps",
+    "repro.units.Gbps",
+    "repro.units.bits_per_second",
+}
+
+#: helpers whose return value is a binary byte count (units.Size)
+_SIZE_HELPERS = {"repro.units.kb", "repro.units.mb", "repro.units.parse_size"}
+
+#: parameter names that expect a bit rate
+_RATE_PARAM = re.compile(r"(^|_)(bps|rate|bandwidth|capacity|goodput)($|_)")
+
+#: parameter names that expect a byte count
+_SIZE_PARAM = re.compile(
+    r"(^|_)(nbytes|bytes|sndbuf|rcvbuf|wmem|rmem|bufsize|chunk|segment)($|_)"
+    r"|(^|_)n?bytes_each$"
+)
+
+#: expression spellings that denote the current simulation time
+_TIME_ATTRS = {"now"}
+_TIME_CALLS = {"wtime"}
+_TIME_NAME = re.compile(r"(^|_)(time|now|deadline|makespan|eta)$")
+
+
+class UnitSafetyPass(LintPass):
+    rules = {
+        "UNIT001": "bare numeric literal >= 1024 passed to a rate-typed parameter",
+        "UNIT002": "rate-valued expression (units.Mbps/Gbps/...) passed to a byte-count parameter",
+        "UNIT003": "float equality comparison on simulation time",
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_compare(ctx, node)
+
+    # -- call-site keyword positions -------------------------------------------
+    def _check_call(self, ctx: ModuleContext, node: ast.Call) -> Iterator[Violation]:
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            name = keyword.arg
+            if _RATE_PARAM.search(name):
+                literal = _bare_numeric_literal(keyword.value)
+                if literal is not None and literal >= 1024:
+                    yield Violation(
+                        ctx.path,
+                        keyword.value.lineno,
+                        "UNIT001",
+                        f"raw literal {literal!r} passed as rate parameter `{name}`",
+                        "spell the unit: units.Mbps(...) / units.Gbps(...)",
+                    )
+                tag = _value_tag(ctx, keyword.value)
+                if tag == "size":
+                    yield Violation(
+                        ctx.path,
+                        keyword.value.lineno,
+                        "UNIT002",
+                        f"byte-count expression passed as rate parameter `{name}`",
+                        "rates are bits/s; convert with units.bits_per_second(...)",
+                    )
+            elif _SIZE_PARAM.search(name):
+                tag = _value_tag(ctx, keyword.value)
+                if tag == "rate":
+                    yield Violation(
+                        ctx.path,
+                        keyword.value.lineno,
+                        "UNIT002",
+                        f"rate expression (bits/s) passed as byte-count parameter `{name}`",
+                        "byte counts use units.kb/mb or plain ints; rates never are byte counts",
+                    )
+
+    # -- float equality on simulation time -------------------------------------
+    def _check_compare(self, ctx: ModuleContext, node: ast.Compare) -> Iterator[Violation]:
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left, *node.comparators]
+        if any(_is_time_expression(expr) for expr in operands):
+            # integer-literal comparisons against 0 are fine (t == 0 start check)
+            others = [e for e in operands if not _is_time_expression(e)]
+            if all(
+                isinstance(e, ast.Constant) and e.value == 0 for e in others
+            ) and others:
+                return
+            yield Violation(
+                ctx.path,
+                node.lineno,
+                "UNIT003",
+                "float `==`/`!=` on simulation time",
+                "use math.isclose(...) or compare integer ticks",
+            )
+
+
+def _bare_numeric_literal(node: ast.expr) -> Optional[float]:
+    """The numeric value if ``node`` is a plain or negated numeric constant."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _bare_numeric_literal(node.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+def _value_tag(ctx: ModuleContext, node: ast.expr) -> Optional[str]:
+    """'rate' / 'size' when the expression's unit is syntactically known."""
+    if isinstance(node, ast.Call):
+        name = ctx.resolve(node.func)
+        if name in _RATE_HELPERS or name.rsplit(".", 1)[-1] in ("Kbps", "Mbps", "Gbps"):
+            return "rate"
+        if name in _SIZE_HELPERS:
+            return "size"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Mult, ast.Add, ast.Sub)):
+        left = _value_tag(ctx, node.left)
+        right = _value_tag(ctx, node.right)
+        return left or right
+    return None
+
+
+def _is_time_expression(node: ast.expr) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr in _TIME_ATTRS:
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _TIME_CALLS
+    ):
+        return True
+    if isinstance(node, ast.Name) and _TIME_NAME.search(node.id):
+        return True
+    if isinstance(node, ast.Attribute) and _TIME_NAME.search(node.attr):
+        return True
+    return False

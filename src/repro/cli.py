@@ -1,4 +1,4 @@
-"""Command-line interface: ``repro list`` / ``repro run <experiment>``.
+"""Command-line interface: ``repro list`` / ``run`` / ``lint`` / ``sanitize``.
 
 Examples::
 
@@ -6,6 +6,9 @@ Examples::
     repro run table4
     repro run fig7 --full
     repro run all --fast
+    repro lint                      # lint src/repro for determinism hazards
+    repro lint --rules              # print the rule catalog
+    repro sanitize fig3             # double-run trace-hash determinism check
 """
 
 from __future__ import annotations
@@ -43,13 +46,82 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="paper-scale configuration (slow: class B, 100+ repeats)",
     )
+
+    lint = sub.add_parser(
+        "lint", help="static determinism/unit-safety analysis of the source tree"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to enable exclusively (e.g. DET001,UNIT003)",
+    )
+    lint.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--rules", action="store_true", help="print the rule catalog and exit"
+    )
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="runtime determinism check: run an experiment twice, compare trace hashes",
+    )
+    sanitize.add_argument("experiment", help="experiment id, e.g. fig3")
+    sanitize.add_argument(
+        "--runs", type=int, default=2, help="number of instrumented runs (default 2)"
+    )
+    sanitize.add_argument(
+        "--full", action="store_true", help="paper-scale configuration (slow)"
+    )
     return parser
 
 
+def _split_rules(text: "str | None") -> "list[str] | None":
+    if not text:
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis.linter import RULE_CATALOG, lint_paths, render_report
+
+    if args.rules:
+        for rule, description in sorted(RULE_CATALOG.items()):
+            print(f"{rule}  {description}")
+        return 0
+    violations = lint_paths(
+        args.paths or None,
+        select=_split_rules(args.select),
+        ignore=_split_rules(args.ignore),
+    )
+    print(render_report(violations))
+    return 1 if violations else 0
+
+
+def _cmd_sanitize(args) -> int:
+    from repro.analysis.sanitizer import sanitize
+
+    report = sanitize(args.experiment, fast=not args.full, runs=args.runs)
+    print(report.render())
+    return 0 if report.deterministic else 1
+
+
 def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "sanitize":
+        return _cmd_sanitize(args)
+
     from repro.experiments import EXPERIMENTS, run_experiment
 
-    args = _build_parser().parse_args(argv)
     if args.command == "list":
         for experiment_id in sorted(EXPERIMENTS):
             print(experiment_id)
@@ -58,9 +130,11 @@ def main(argv=None) -> int:
     fast = not args.full
     ids = sorted(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
     for experiment_id in ids:
-        started = time.monotonic()
+        # Wall-clock timing of the *host* run is intentional UI here; the
+        # simulation itself only ever reads env.now.
+        started = time.monotonic()  # lint: disable=DET002
         result = run_experiment(experiment_id, fast=fast)
-        elapsed = time.monotonic() - started
+        elapsed = time.monotonic() - started  # lint: disable=DET002
         print(result.text)
         print(f"[{result.experiment_id}: {elapsed:.1f}s wall]")
         print()

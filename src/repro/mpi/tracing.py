@@ -10,11 +10,44 @@ paper's Table 2 ("P. to P." vs "Collective" benchmarks).
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.mpi.constants import COLLECTIVE_CONTEXT, POINT_TO_POINT_CONTEXT
 from repro.units import fmt_bytes
+
+
+class EventTraceHasher:
+    """Order-sensitive hash of an event schedule.
+
+    Install with :func:`repro.sim.core.install_trace_sink`; every processed
+    queue entry folds ``(time, priority, seq, event kind, event name)`` into
+    a running blake2b digest.  Two runs of the same seeded experiment must
+    produce the same digest — that is the determinism contract the
+    sanitizer (``repro sanitize``) enforces.  Event identity is hashed by
+    *type name and process name*, never ``repr`` (which contains ``id()``
+    and would differ between runs by construction).
+    """
+
+    def __init__(self) -> None:
+        self._hash = hashlib.blake2b(digest_size=16)
+        #: number of events folded in (a cheap first-difference diagnostic)
+        self.events = 0
+
+    def __call__(self, time: float, priority: int, seq: int, event: object) -> None:
+        name = getattr(event, "name", "") or ""
+        line = f"{time!r}|{priority}|{seq}|{type(event).__name__}|{name}\n"
+        self._hash.update(line.encode("utf-8"))
+        self.events += 1
+
+    def update_text(self, text: str) -> None:
+        """Fold extra material (e.g. the rendered experiment result) into
+        the digest so value-level divergence is caught too."""
+        self._hash.update(text.encode("utf-8"))
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
 
 
 @dataclass

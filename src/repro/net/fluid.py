@@ -22,6 +22,7 @@ from typing import Iterable, Optional
 
 from repro.errors import NetworkConfigError
 from repro.sim.core import Environment, Event
+from repro.units import Rate
 
 _EPS = 1e-12
 #: Residues below one bit are float noise from ``(t + eta) - t`` round-trips,
@@ -36,7 +37,7 @@ class Pipe:
 
     __slots__ = ("name", "capacity_bps", "flows")
 
-    def __init__(self, name: str, capacity_bps: float):
+    def __init__(self, name: str, capacity_bps: "Rate | float"):
         if capacity_bps <= 0:
             raise NetworkConfigError(f"pipe {name!r}: capacity must be positive")
         self.name = name
@@ -52,6 +53,7 @@ class Flow:
 
     __slots__ = (
         "name",
+        "uid",
         "pipes",
         "remaining_bits",
         "rate_cap_bps",
@@ -69,8 +71,13 @@ class Flow:
         nbytes: float,
         done: Event,
         rate_cap_bps: float = math.inf,
+        uid: int = 0,
     ):
         self.name = name
+        #: creation order within the owning FluidNetwork; the deterministic
+        #: iteration key (sets of flows order by id(), which is not stable
+        #: run-to-run — see DET006 in repro.analysis)
+        self.uid = uid
         self.pipes = pipes
         self.remaining_bits = float(nbytes) * 8.0
         self.rate_cap_bps = float(rate_cap_bps)
@@ -95,6 +102,7 @@ class FluidNetwork:
         self.flows: set[Flow] = set()
         #: number of rate recomputations, exposed for performance tests
         self.recomputations = 0
+        self._flow_counter = 0
 
     # -- public API -------------------------------------------------------------
     def start_flow(
@@ -102,7 +110,7 @@ class FluidNetwork:
         name: str,
         pipes: Iterable[Pipe],
         nbytes: float,
-        rate_cap_bps: float = math.inf,
+        rate_cap_bps: "Rate | float" = math.inf,
     ) -> Flow:
         """Begin transferring ``nbytes`` across ``pipes``.
 
@@ -110,21 +118,24 @@ class FluidNetwork:
         byte leaves the last pipe.  ``rate_cap_bps`` bounds the flow's rate
         (TCP window cap); it may be changed later with :meth:`set_rate_cap`.
         """
-        pipes = tuple(pipes)
-        if not pipes:
+        route = tuple(pipes)
+        if not route:
             raise NetworkConfigError(f"flow {name!r}: needs at least one pipe")
         if nbytes < 0:
             raise NetworkConfigError(f"flow {name!r}: negative size")
         if rate_cap_bps <= 0:
             raise NetworkConfigError(f"flow {name!r}: rate cap must be positive")
-        flow = Flow(name, pipes, nbytes, self.env.event(), rate_cap_bps)
+        self._flow_counter += 1
+        flow = Flow(
+            name, route, nbytes, self.env.event(), rate_cap_bps, uid=self._flow_counter
+        )
         flow._last_update = self.env.now
         flow.started_at = self.env.now
         if nbytes == 0:
             flow.done.succeed(flow)
             return flow
         self.flows.add(flow)
-        for pipe in pipes:
+        for pipe in route:
             pipe.flows.add(flow)
         self._recompute()
         return flow
@@ -174,12 +185,18 @@ class FluidNetwork:
             pipe.flows.discard(flow)
 
     def _recompute(self) -> None:
-        """Re-allocate rates for all active flows and reschedule completions."""
+        """Re-allocate rates for all active flows and reschedule completions.
+
+        Flows are visited in creation (uid) order: iterating the raw set
+        would schedule completion timers in id()-dependent order, giving
+        same-time events different queue sequence numbers from run to run.
+        """
         self.recomputations += 1
-        for flow in self.flows:
+        ordered = sorted(self.flows, key=lambda f: f.uid)
+        for flow in ordered:
             self._settle(flow)
 
-        rates = self._progressive_filling(self.flows)
+        rates = self._progressive_filling(ordered)
 
         for flow, rate in rates.items():
             # Reschedule only flows whose rate actually moved: a completion
@@ -216,8 +233,13 @@ class FluidNetwork:
         timer.callbacks.append(on_timer)
 
     @staticmethod
-    def _progressive_filling(flows: set[Flow]) -> dict[Flow, float]:
-        """Max-min fair allocation with per-flow rate caps."""
+    def _progressive_filling(flows: "list[Flow]") -> dict[Flow, float]:
+        """Max-min fair allocation with per-flow rate caps.
+
+        ``flows`` arrives in uid order and the returned dict preserves it,
+        so callers iterate deterministically.  The sets used internally
+        only feed order-independent arithmetic (min/sum/membership).
+        """
         if not flows:
             return {}
         level: dict[Flow, float] = {f: 0.0 for f in flows}

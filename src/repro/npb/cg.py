@@ -20,7 +20,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mpi.constants import SUM
-from repro.npb.common import PROBLEM, per_rank_flops, sampled_loop, validate_config
+from repro.npb.common import (
+    PROBLEM,
+    per_rank_flops,
+    sampled_loop,
+    validate_config,
+    verify_rng,
+)
 
 CGITMAX = 25
 
@@ -88,7 +94,7 @@ def make_verify_program(nprocs: int, n: int = 64, iters: int = 30):
     """A real distributed CG: solve ``A x = b`` for a small SPD matrix with
     row-block partitioning; the distributed residual must match a serial
     CG run and the solution must approach ``numpy.linalg.solve``."""
-    rng = np.random.default_rng(42)
+    rng = verify_rng("cg")
     m = rng.standard_normal((n, n))
     a = m @ m.T + n * np.eye(n)  # SPD, well conditioned
     b = rng.standard_normal(n)

@@ -12,7 +12,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+import numpy as np
+
 from repro.errors import WorkloadError
+from repro.sim.rng import RngRegistry
+
+#: master seed of every verify-mode problem-data stream
+NPB_VERIFY_SEED = 2007
+
+
+def verify_rng(kernel: str, rank: Optional[int] = None) -> np.random.Generator:
+    """A *fresh* deterministic stream for verify-mode problem data.
+
+    Each call returns a new generator at the start of the named stream, so
+    the serial reference computation and the per-rank distributed one can
+    independently draw identical data — the property the verify programs'
+    bit-exact comparisons rely on.  All NPB randomness goes through here
+    (DET005): streams are named ``npb.<kernel>.verify[.rank<r>]`` under the
+    single master seed :data:`NPB_VERIFY_SEED`.
+    """
+    name = f"npb.{kernel}.verify" if rank is None else f"npb.{kernel}.verify.rank{rank}"
+    return RngRegistry(seed=NPB_VERIFY_SEED).stream(name)
 
 BENCHMARK_NAMES = ("ep", "cg", "mg", "lu", "sp", "bt", "is", "ft")
 CLASS_NAMES = ("S", "W", "A", "B", "C")

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mpi.constants import SUM
-from repro.npb.common import PROBLEM, per_rank_flops, validate_config
+from repro.npb.common import PROBLEM, per_rank_flops, validate_config, verify_rng
 
 
 def make_program(cls: str, nprocs: int, sample_iters=None):
@@ -37,7 +37,7 @@ def make_verify_program(nprocs: int, pairs_per_rank: int = 4000):
     def serial_counts() -> np.ndarray:
         counts = np.zeros(10)
         for rank in range(nprocs):
-            rng = np.random.default_rng(1234 + rank)
+            rng = verify_rng("ep", rank)
             x = rng.uniform(-1, 1, pairs_per_rank)
             y = rng.uniform(-1, 1, pairs_per_rank)
             t = x * x + y * y
@@ -51,7 +51,7 @@ def make_verify_program(nprocs: int, pairs_per_rank: int = 4000):
     expected = serial_counts()
 
     def program(ctx):
-        rng = np.random.default_rng(1234 + ctx.rank)
+        rng = verify_rng("ep", ctx.rank)
         x = rng.uniform(-1, 1, pairs_per_rank)
         y = rng.uniform(-1, 1, pairs_per_rank)
         t = x * x + y * y

@@ -16,7 +16,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mpi.constants import SUM
-from repro.npb.common import PROBLEM, per_rank_flops, sampled_loop, validate_config
+from repro.npb.common import (
+    PROBLEM,
+    per_rank_flops,
+    sampled_loop,
+    validate_config,
+    verify_rng,
+)
 
 
 def make_program(cls: str, nprocs: int, sample_iters=None):
@@ -49,7 +55,7 @@ def make_verify_program(nprocs: int, n: int = 32):
     """Real math: a distributed 3D FFT by slab decomposition — local 2D
     FFTs, a slab exchange (allgather, the volume redistribution), then the
     final-axis FFT — must match ``numpy.fft.fftn`` exactly."""
-    rng = np.random.default_rng(99)
+    rng = verify_rng("ft")
     volume = rng.standard_normal((n, n, n)) + 1j * rng.standard_normal((n, n, n))
     expected = np.fft.fftn(volume)
     slabs = n // nprocs

@@ -15,7 +15,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mpi.constants import SUM
-from repro.npb.common import PROBLEM, per_rank_flops, sampled_loop, validate_config
+from repro.npb.common import (
+    PROBLEM,
+    per_rank_flops,
+    sampled_loop,
+    validate_config,
+    verify_rng,
+)
 
 NUM_BUCKETS = 256  # histogram payload ~1 kB of int32
 
@@ -59,7 +65,7 @@ def make_verify_program(nprocs: int, keys_per_rank: int = 2000, max_key: int = 1
     def all_keys():
         return np.concatenate(
             [
-                np.random.default_rng(55 + r).integers(0, max_key, keys_per_rank)
+                verify_rng("is", r).integers(0, max_key, keys_per_rank)
                 for r in range(nprocs)
             ]
         )
@@ -68,7 +74,7 @@ def make_verify_program(nprocs: int, keys_per_rank: int = 2000, max_key: int = 1
 
     def program(ctx):
         comm, rank = ctx.comm, ctx.rank
-        keys = np.random.default_rng(55 + rank).integers(0, max_key, keys_per_rank)
+        keys = verify_rng("is", rank).integers(0, max_key, keys_per_rank)
         # histogram over nprocs buckets (key range split evenly)
         edges = np.linspace(0, max_key, nprocs + 1).astype(np.int64)
         hist = np.histogram(keys, bins=edges)[0].astype(np.int64)

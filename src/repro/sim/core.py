@@ -27,6 +27,26 @@ NORMAL = 1
 
 PENDING = object()  # sentinel: event value not yet decided
 
+#: Active trace sinks: callables ``(time, priority, seq, event)`` invoked for
+#: every popped queue entry.  Installed globally (not per-Environment) so the
+#: determinism sanitizer can observe experiments that build their own
+#: Environments internally.  Empty in normal operation — ``step()`` pays one
+#: truthiness check.
+_TRACE_SINKS: list[Callable[[float, int, int, "Event"], None]] = []
+
+
+def install_trace_sink(sink: Callable[[float, int, int, "Event"], None]) -> None:
+    """Register ``sink`` to observe every scheduled event as it is processed."""
+    _TRACE_SINKS.append(sink)
+
+
+def remove_trace_sink(sink: Callable[[float, int, int, "Event"], None]) -> None:
+    """Unregister a sink previously installed (no-op if absent)."""
+    try:
+        _TRACE_SINKS.remove(sink)
+    except ValueError:
+        pass
+
 
 class Interrupt(Exception):
     """Thrown inside a process that another process interrupted.
@@ -275,9 +295,12 @@ class Environment:
     def step(self) -> None:
         """Process the next scheduled event."""
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, priority, seq, event = heapq.heappop(self._queue)
         except IndexError:
             raise SimulationError("step() on an empty schedule") from None
+        if _TRACE_SINKS:
+            for sink in tuple(_TRACE_SINKS):
+                sink(self._now, priority, seq, event)
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
             raise SimulationError(f"{event!r} processed twice")

@@ -27,11 +27,16 @@ from repro.tcp.sysctl import SysctlConfig
 
 @dataclass(frozen=True)
 class BufferPolicy:
-    """How one endpoint sizes its socket buffers."""
+    """How one endpoint sizes its socket buffers.
+
+    ``sndbuf``/``rcvbuf`` are byte counts (:data:`repro.units.Size`
+    semantics), never rates — the UNIT002 lint rule enforces the call
+    sites.
+    """
 
     mode: str  # "autotune" | "initial" | "fixed"
-    sndbuf: Optional[int] = None  # only for mode == "fixed"
-    rcvbuf: Optional[int] = None
+    sndbuf: Optional[int] = None  # bytes; only for mode == "fixed"
+    rcvbuf: Optional[int] = None  # bytes; only for mode == "fixed"
 
     def __post_init__(self):
         if self.mode not in ("autotune", "initial", "fixed"):
@@ -76,6 +81,9 @@ def effective_buffers(
         snd = sender_sysctl.tcp_wmem.max_bytes
         rcv = receiver_sysctl.tcp_rmem.default_bytes
     else:  # fixed: setsockopt clamps against the core maxima
+        # __post_init__ guarantees both sizes are set for mode == "fixed";
+        # the narrowing assert is for mypy, which cannot see that.
+        assert policy.sndbuf is not None and policy.rcvbuf is not None
         snd = min(policy.sndbuf, sender_sysctl.wmem_max)
         rcv = min(policy.rcvbuf, receiver_sysctl.rmem_max)
     return snd, rcv

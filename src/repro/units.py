@@ -16,38 +16,51 @@ these helpers keep the conversions explicit and readable at call sites:
 from __future__ import annotations
 
 import math
+from typing import NewType
+
+#: A byte count (binary units: kB = 1024 B).  ``Size`` is a ``NewType`` over
+#: ``int``: passing a ``Size`` anywhere an ``int`` is expected is fine, but
+#: annotating a parameter as ``Size`` documents — and lets mypy plus the
+#: UNIT lint rules check — that a *byte count*, never a bit rate, belongs
+#: there.
+Size = NewType("Size", int)
+
+#: A link/transfer rate in bits per second (decimal units: Mbps = 1e6 bit/s).
+#: Disjoint from :data:`Size` under mypy, which is the point: the paper's
+#: TCP-buffer arithmetic (buffer >= rate x RTT / 8) is where the two mix.
+Rate = NewType("Rate", float)
 
 # --- byte sizes (binary, as used by socket buffers and MPI thresholds) -----
-KB: int = 1024
-MB: int = 1024 * 1024
-GB: int = 1024 * 1024 * 1024
+KB: Size = Size(1024)
+MB: Size = Size(1024 * 1024)
+GB: Size = Size(1024 * 1024 * 1024)
 
 
-def kb(n: float) -> int:
+def kb(n: float) -> Size:
     """``n`` kibibytes as an integer byte count."""
-    return int(n * KB)
+    return Size(int(n * KB))
 
 
-def mb(n: float) -> int:
+def mb(n: float) -> Size:
     """``n`` mebibytes as an integer byte count."""
-    return int(n * MB)
+    return Size(int(n * MB))
 
 
 # --- bit rates (decimal, as used for link speeds) ---------------------------
-def bps(n: float) -> float:
-    return float(n)
+def bps(n: float) -> Rate:
+    return Rate(float(n))
 
 
-def Kbps(n: float) -> float:
-    return n * 1e3
+def Kbps(n: float) -> Rate:
+    return Rate(n * 1e3)
 
 
-def Mbps(n: float) -> float:
-    return n * 1e6
+def Mbps(n: float) -> Rate:
+    return Rate(n * 1e6)
 
 
-def Gbps(n: float) -> float:
-    return n * 1e9
+def Gbps(n: float) -> Rate:
+    return Rate(n * 1e9)
 
 
 # --- times -------------------------------------------------------------------
@@ -70,15 +83,15 @@ def to_msec(seconds: float) -> float:
 
 
 # --- conversions -------------------------------------------------------------
-def bytes_per_second(bits_per_second: float) -> float:
+def bytes_per_second(bits_per_second: Rate | float) -> float:
     return bits_per_second / 8.0
 
 
-def bits_per_second(byte_rate: float) -> float:
-    return byte_rate * 8.0
+def bits_per_second(byte_rate: float) -> Rate:
+    return Rate(byte_rate * 8.0)
 
 
-def transfer_seconds(nbytes: float, rate_bps: float) -> float:
+def transfer_seconds(nbytes: float, rate_bps: Rate | float) -> float:
     """Serialisation time of ``nbytes`` at ``rate_bps`` bits/second."""
     if rate_bps <= 0:
         raise ValueError(f"rate must be positive, got {rate_bps}")
@@ -113,7 +126,7 @@ def fmt_bytes(nbytes: float) -> str:
     return f"{int(nbytes)}"
 
 
-def fmt_rate(rate_bps: float) -> str:
+def fmt_rate(rate_bps: Rate | float) -> str:
     """Human-readable bit rate.
 
     >>> fmt_rate(940e6)
@@ -145,7 +158,7 @@ def fmt_time(seconds: float) -> str:
     return f"{seconds * 1e9:.1f} ns"
 
 
-def parse_size(text: str) -> int:
+def parse_size(text: str) -> Size:
     """Parse a size like ``'128k'``, ``'4MB'``, ``'64M'`` or ``'512'`` to bytes.
 
     >>> parse_size('128k')
@@ -159,7 +172,7 @@ def parse_size(text: str) -> int:
         factor = {"k": KB, "m": MB, "g": GB}[s[-1]]
         s = s[:-1]
     try:
-        return int(float(s) * factor)
+        return Size(int(float(s) * factor))
     except ValueError as exc:
         raise ValueError(f"cannot parse size {text!r}") from exc
 

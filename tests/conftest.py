@@ -1,10 +1,24 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the repro lint gate.
+
+The lint gate (``repro.analysis.pytest_plugin``) is wired in by hook
+delegation rather than ``pytest_plugins`` so it works regardless of which
+directory pytest treats as rootdir.
+"""
 
 import pytest
 
+from repro.analysis import pytest_plugin as _lint_gate
 from repro.impls import get_implementation
 from repro.net import build_pair_testbed
 from repro.tcp import TUNED_SYSCTLS
+
+
+def pytest_addoption(parser):
+    _lint_gate.pytest_addoption(parser)
+
+
+def pytest_sessionstart(session):
+    _lint_gate.pytest_sessionstart(session)
 
 
 def make_cluster_job(impl_name="mpich2", nprocs=4, tuned=True, impl=None, **kwargs):

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Full local CI gate: ruff + mypy (when installed) + repro lint + pytest.
 #
-# ruff and mypy are optional dev tools — the container image does not bake
-# them in, and the repo must not pip-install at check time — so each is
-# skipped with a notice when absent.  `repro lint` and pytest are always
-# run; pytest itself re-runs the lint pass via the conftest session gate.
+# Locally, ruff and mypy are optional dev tools — the container image does
+# not bake them in, and the repo must not pip-install at check time — so
+# each is skipped with a notice when absent.  Under CI (CI=1) a missing
+# tool is a configuration error and fails the gate instead of silently
+# thinning it.  `repro lint` and pytest are always run; pytest itself
+# re-runs the lint pass via the conftest session gate.
+#
+# The exit code is the FIRST failing step's code, not the last one's.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,25 +16,48 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 status=0
 
+# run_step NAME CMD...: run a step, remember the first non-zero exit code.
+run_step() {
+    local name="$1"
+    shift
+    echo "== $name =="
+    local rc=0
+    "$@" || rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "-- $name failed (exit $rc)"
+        if [ "$status" -eq 0 ]; then
+            status=$rc
+        fi
+    fi
+}
+
+# missing_tool NAME: under CI a missing linter/typechecker fails the gate.
+missing_tool() {
+    if [ -n "${CI:-}" ]; then
+        echo "== $1 == MISSING (CI=1 requires it installed)"
+        if [ "$status" -eq 0 ]; then
+            status=3
+        fi
+    else
+        echo "== $1 == (not installed; skipped)"
+    fi
+}
+
 if python -m ruff --version >/dev/null 2>&1; then
-    echo "== ruff =="
-    python -m ruff check src/repro tests || status=1
+    run_step "ruff" python -m ruff check src/repro tests scripts
 else
-    echo "== ruff == (not installed; skipped)"
+    missing_tool "ruff"
 fi
 
 if python -m mypy --version >/dev/null 2>&1; then
-    echo "== mypy (repro.analysis, warnings-as-errors) =="
-    python -m mypy --warn-unused-ignores --warn-redundant-casts \
-        -p repro.analysis || status=1
+    run_step "mypy (repro.analysis, warnings-as-errors)" \
+        python -m mypy --warn-unused-ignores --warn-redundant-casts \
+        -p repro.analysis
 else
-    echo "== mypy == (not installed; skipped)"
+    missing_tool "mypy"
 fi
 
-echo "== repro lint =="
-python -m repro lint || status=1
-
-echo "== pytest =="
-python -m pytest -x -q || status=1
+run_step "repro lint" python -m repro lint
+run_step "pytest" python -m pytest -x -q
 
 exit $status

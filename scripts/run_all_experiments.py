@@ -1,17 +1,18 @@
 #!/usr/bin/env python
 """Run every experiment and save the rendered reports under results/.
 
-    python scripts/run_all_experiments.py [--fast] [ids...]
+    python scripts/run_all_experiments.py [--fast] [--jobs N] [ids...]
 
-Used to regenerate the numbers quoted in EXPERIMENTS.md.
+Thin wrapper over the parallel orchestrator (``repro.runner``); used to
+regenerate the numbers quoted in EXPERIMENTS.md.  Exits non-zero when any
+experiment fails, after running — and summarising — everything else.
 """
 
 import argparse
-import pathlib
 import sys
-import time
 
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.runner import ExperimentSpec, record_campaign, run_campaign
 
 #: cheap experiments always run at paper scale; the NPB/ray2mesh ones are
 #: driven by --fast
@@ -22,21 +23,34 @@ def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("ids", nargs="*", default=None)
     parser.add_argument("--fast", action="store_true")
+    parser.add_argument("--jobs", "-j", type=int, default=1)
+    parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--out", default="results")
     args = parser.parse_args()
 
-    out_dir = pathlib.Path(args.out)
-    out_dir.mkdir(exist_ok=True)
     ids = args.ids or sorted(EXPERIMENTS)
     for experiment_id in ids:
-        fast = args.fast and experiment_id not in ALWAYS_FULL
-        started = time.monotonic()
-        result = run_experiment(experiment_id, fast=fast)
-        elapsed = time.monotonic() - started
-        path = out_dir / f"{experiment_id}.txt"
-        path.write_text(result.text + f"\n\n[{elapsed:.1f}s wall, fast={fast}]\n")
-        print(f"{experiment_id}: {elapsed:7.1f}s -> {path}", flush=True)
-    return 0
+        get_experiment(experiment_id)  # fail fast on a typo'd id
+    specs = [
+        ExperimentSpec(
+            experiment_id,
+            fast=args.fast and experiment_id not in ALWAYS_FULL,
+        )
+        for experiment_id in ids
+    ]
+
+    campaign = run_campaign(
+        specs,
+        jobs=max(1, args.jobs),
+        use_cache=not args.no_cache,
+        out_dir=args.out,
+        progress=lambda line: print(line, flush=True),
+    )
+    record_campaign(campaign, label="run_all_experiments")
+    print(campaign.summary(), flush=True)
+    for run in campaign.failures:
+        print(f"  {run.experiment_id}: {run.error}", file=sys.stderr)
+    return 0 if campaign.ok else 1
 
 
 if __name__ == "__main__":

@@ -19,8 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ExperimentError
-from repro.mpi.tracing import EventTraceHasher
-from repro.sim.core import install_trace_sink, remove_trace_sink
+from repro.sim.core import trace_capture
 
 __all__ = ["SanitizeReport", "sanitize", "trace_experiment"]
 
@@ -61,12 +60,8 @@ def trace_experiment(
 ) -> tuple[str, int, object]:
     """One instrumented run: ``(trace hash, event count, result)``."""
     experiment_id, runner = _resolve_runner(experiment)
-    hasher = EventTraceHasher()
-    install_trace_sink(hasher)
-    try:
+    with trace_capture() as hasher:
         result = runner(fast=fast)
-    finally:
-        remove_trace_sink(hasher)
     # Fold the rendered output in: same schedule + different values is
     # still a determinism failure.
     hasher.update_text(getattr(result, "text", repr(result)))

@@ -6,6 +6,8 @@ Examples::
     repro run table4
     repro run fig7 --full
     repro run all --fast
+    repro run all --fast --jobs 8   # parallel orchestrator + result cache
+    repro run all --no-cache --out results
     repro lint                      # lint src/repro for determinism hazards
     repro lint --rules              # print the rule catalog
     repro sanitize fig3             # double-run trace-hash determinism check
@@ -15,7 +17,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro._version import __version__
 
@@ -45,6 +46,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="paper-scale configuration (slow: class B, 100+ repeats)",
+    )
+    run.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; >1 shards sweep experiments across a pool",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update the .repro-cache/ result cache",
+    )
+    run.add_argument(
+        "--out",
+        metavar="DIR",
+        help="also write <id>.txt reports and json/<id>.json artifacts to DIR",
+    )
+    run.add_argument(
+        "--bench",
+        metavar="PATH",
+        default=None,
+        help="timing manifest location (default BENCH_experiments.json for "
+        "multi-experiment campaigns)",
     )
 
     lint = sub.add_parser(
@@ -120,25 +146,38 @@ def main(argv=None) -> int:
     if args.command == "sanitize":
         return _cmd_sanitize(args)
 
-    from repro.experiments import EXPERIMENTS, run_experiment
+    from repro.experiments import EXPERIMENTS, get_experiment
 
     if args.command == "list":
         for experiment_id in sorted(EXPERIMENTS):
             print(experiment_id)
         return 0
 
+    from repro.runner import ExperimentSpec, record_campaign, run_campaign
+
     fast = not args.full
     ids = sorted(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
     for experiment_id in ids:
-        # Wall-clock timing of the *host* run is intentional UI here; the
-        # simulation itself only ever reads env.now.
-        started = time.monotonic()  # lint: disable=DET002
-        result = run_experiment(experiment_id, fast=fast)
-        elapsed = time.monotonic() - started  # lint: disable=DET002
-        print(result.text)
-        print(f"[{result.experiment_id}: {elapsed:.1f}s wall]")
+        get_experiment(experiment_id)  # unknown ids raise before any work runs
+
+    campaign = run_campaign(
+        [ExperimentSpec(experiment_id, fast=fast) for experiment_id in ids],
+        jobs=max(1, args.jobs),
+        use_cache=not args.no_cache,
+        out_dir=args.out,
+    )
+    for run in campaign.runs:
+        if not run.ok:
+            continue
+        print(run.text)
+        suffix = ", cached" if run.cached else ""
+        print(f"[{run.experiment_id}: {run.wall_s:.1f}s wall{suffix}]")
         print()
-    return 0
+    for run in campaign.failures:
+        print(f"[{run.experiment_id}: FAILED — {run.error}]", file=sys.stderr)
+    if args.bench is not None or len(ids) > 1 or args.out:
+        record_campaign(campaign, path=args.bench, label="repro run")
+    return 0 if campaign.ok else 1
 
 
 if __name__ == "__main__":

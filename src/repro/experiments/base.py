@@ -1,4 +1,28 @@
-"""Experiment result container."""
+"""Experiment result container and the sharding protocol.
+
+Every experiment module exposes ``run(fast=False) -> ExperimentResult``.
+Sweep-style experiments additionally expose the *shard hooks* consumed by
+the parallel runner (:mod:`repro.runner`):
+
+``shards(fast=False) -> list[ShardSpec]``
+    Decompose the experiment into independent units of work.  Each shard
+    must be reproducible in a fresh process from its picklable ``params``
+    alone, and the decomposition must be *result-preserving*: merging the
+    shard payloads has to rebuild the exact ``ExperimentResult.text`` a
+    plain ``run()`` produces (the runner's tests assert byte-identity).
+
+``merge(payloads, fast=False) -> ExperimentResult``
+    Reassemble the result from ``{shard task_id: payload}``.  Runs in the
+    orchestrating process; it must be cheap (table rendering, no
+    simulation).
+
+Shard ``task_id``s are global, not per-experiment: two experiments that
+declare a shard with the same ``task_id`` (e.g. table6/table7 both needing
+the ray2mesh run for one master site, or figs 10/12/13 sharing the grid16
+NPB points) are deduplicated by the runner — the shard executes once and
+both merges see its payload.  Payloads must be JSON-serialisable so they
+can live in the on-disk result cache.
+"""
 
 from __future__ import annotations
 
@@ -22,3 +46,21 @@ class ExperimentResult:
 
     def __str__(self) -> str:
         return self.text
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One independent, cacheable unit of a sharded experiment.
+
+    ``runner`` is a ``"package.module:function"`` reference resolved inside
+    the worker process; the function is called as ``fn(fast=fast, **params)``
+    and must return a JSON-serialisable payload.
+    """
+
+    #: global cache/dedup key, e.g. ``"npb/grid16/ft"`` — identical task_ids
+    #: across experiments are executed once per campaign
+    task_id: str
+    #: dotted reference to the worker-side function
+    runner: str
+    #: picklable, JSON-serialisable keyword arguments
+    params: dict[str, Any] = field(default_factory=dict)

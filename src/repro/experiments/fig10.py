@@ -2,8 +2,16 @@
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
-from repro.experiments.npb_runs import NPB_ORDER, npb_time, relative_to_mpich2
+import math
+
+from repro.experiments.base import ExperimentResult, ShardSpec
+from repro.experiments.npb_runs import (
+    NPB_ORDER,
+    bench_times,
+    npb_fast_config,
+    npb_point_shards,
+    shard_times,
+)
 from repro.impls import ALL_IMPLEMENTATIONS, IMPLEMENTATION_ORDER
 from repro.report import Table
 
@@ -14,9 +22,17 @@ PAPER_NOTE = (
 )
 
 
-def run(fast: bool = False, placement_kind: str = "grid16") -> ExperimentResult:
-    cls = "A" if fast else "B"
-    sample = 4 if fast else "default"
+def result_from_times(
+    times_by_bench: dict[str, dict[str, float]],
+    fast: bool = False,
+    placement_kind: str = "grid16",
+) -> ExperimentResult:
+    """Render Fig. 10 from a ``{bench: {impl: time}}`` matrix.
+
+    Shared by the serial path and the shard merge, so both produce
+    byte-identical reports from equal inputs.
+    """
+    cls, _sample = npb_fast_config(fast)
     table = Table(
         ["NAS"] + [ALL_IMPLEMENTATIONS[n].display_name for n in IMPLEMENTATION_ORDER],
         title=(
@@ -28,18 +44,16 @@ def run(fast: bool = False, placement_kind: str = "grid16") -> ExperimentResult:
     for bench in NPB_ORDER:
         cells = [bench.upper()]
         row = {"bench": bench}
+        ref = times_by_bench[bench]["mpich2"]
         for name in IMPLEMENTATION_ORDER:
-            rel = relative_to_mpich2(
-                bench, name, placement_kind, cls=cls, sample_iters=sample
-            )
+            t = times_by_bench[bench][name]
+            rel = 0.0 if math.isinf(t) else ref / t
             cells.append(rel)
             row[name] = rel
         table.add_row(cells)
         rows.append(row)
     times = {
-        (bench, name): npb_time(
-            bench, name, placement_kind, cls=cls, sample_iters=sample
-        )
+        (bench, name): times_by_bench[bench][name]
         for bench in NPB_ORDER
         for name in IMPLEMENTATION_ORDER
     }
@@ -51,3 +65,23 @@ def run(fast: bool = False, placement_kind: str = "grid16") -> ExperimentResult:
         "\n".join([table.render(), "", f"paper: {PAPER_NOTE}"]),
         extra={"times": times},
     )
+
+
+def run(fast: bool = False, placement_kind: str = "grid16") -> ExperimentResult:
+    times_by_bench = {
+        bench: bench_times(bench, placement_kind, fast) for bench in NPB_ORDER
+    }
+    return result_from_times(times_by_bench, fast, placement_kind)
+
+
+def shards(fast: bool = False, placement_kind: str = "grid16") -> list[ShardSpec]:
+    return npb_point_shards((placement_kind,))
+
+
+def merge(
+    payloads: dict[str, dict], fast: bool = False, placement_kind: str = "grid16"
+) -> ExperimentResult:
+    times_by_bench = {
+        bench: shard_times(payloads, placement_kind, bench) for bench in NPB_ORDER
+    }
+    return result_from_times(times_by_bench, fast, placement_kind)

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from repro.experiments import fig10
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, ShardSpec
+
+PLACEMENT = "grid4"
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    result = fig10.run(fast=fast, placement_kind="grid4")
+def _rebrand(result: ExperimentResult) -> ExperimentResult:
     return ExperimentResult(
         "fig11",
         "Fig. 11: NPB relative to MPICH2 on the grid (2+2)",
@@ -16,3 +17,15 @@ def run(fast: bool = False) -> ExperimentResult:
         result.text.replace("Fig. 10", "Fig. 11"),
         extra=result.extra,
     )
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    return _rebrand(fig10.run(fast=fast, placement_kind=PLACEMENT))
+
+
+def shards(fast: bool = False) -> list[ShardSpec]:
+    return fig10.shards(fast=fast, placement_kind=PLACEMENT)
+
+
+def merge(payloads: dict[str, dict], fast: bool = False) -> ExperimentResult:
+    return _rebrand(fig10.merge(payloads, fast=fast, placement_kind=PLACEMENT))

@@ -8,15 +8,26 @@ benefits from GridMPI's broadcast while IS stays poor.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
-from repro.experiments.npb_runs import NPB_ORDER, npb_time
+import math
+
+from repro.experiments.base import ExperimentResult, ShardSpec
+from repro.experiments.npb_runs import (
+    NPB_ORDER,
+    bench_times,
+    npb_fast_config,
+    npb_point_shards,
+    shard_times,
+)
 from repro.impls import ALL_IMPLEMENTATIONS, IMPLEMENTATION_ORDER
 from repro.report import Table
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    cls = "A" if fast else "B"
-    sample = 4 if fast else "default"
+def _result_from_times(
+    cluster_times: dict[str, dict[str, float]],
+    grid_times: dict[str, dict[str, float]],
+    fast: bool = False,
+) -> ExperimentResult:
+    cls, _sample = npb_fast_config(fast)
     table = Table(
         ["NAS"] + [ALL_IMPLEMENTATIONS[n].display_name for n in IMPLEMENTATION_ORDER],
         title=(
@@ -29,9 +40,9 @@ def run(fast: bool = False) -> ExperimentResult:
         cells = [bench.upper()]
         row = {"bench": bench}
         for name in IMPLEMENTATION_ORDER:
-            t_cluster = npb_time(bench, name, "cluster16", cls=cls, sample_iters=sample)
-            t_grid = npb_time(bench, name, "grid16", cls=cls, sample_iters=sample)
-            rel = 0.0 if t_grid == float("inf") else t_cluster / t_grid
+            t_cluster = cluster_times[bench][name]
+            t_grid = grid_times[bench][name]
+            rel = 0.0 if math.isinf(t_grid) else t_cluster / t_grid
             cells.append(rel)
             row[name] = rel
         table.add_row(cells)
@@ -43,3 +54,20 @@ def run(fast: bool = False) -> ExperimentResult:
         rows,
         table.render(),
     )
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    cluster_times = {b: bench_times(b, "cluster16", fast) for b in NPB_ORDER}
+    grid_times = {b: bench_times(b, "grid16", fast) for b in NPB_ORDER}
+    return _result_from_times(cluster_times, grid_times, fast)
+
+
+def shards(fast: bool = False) -> list[ShardSpec]:
+    # grid16 shards are shared (same task_ids) with figs 10 and 13.
+    return npb_point_shards(("cluster16", "grid16"))
+
+
+def merge(payloads: dict[str, dict], fast: bool = False) -> ExperimentResult:
+    cluster_times = {b: shard_times(payloads, "cluster16", b) for b in NPB_ORDER}
+    grid_times = {b: shard_times(payloads, "grid16", b) for b in NPB_ORDER}
+    return _result_from_times(cluster_times, grid_times, fast)

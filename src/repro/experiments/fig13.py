@@ -8,15 +8,26 @@ the paper's core argument for running MPI applications on the grid.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
-from repro.experiments.npb_runs import NPB_ORDER, npb_time
+import math
+
+from repro.experiments.base import ExperimentResult, ShardSpec
+from repro.experiments.npb_runs import (
+    NPB_ORDER,
+    bench_times,
+    npb_fast_config,
+    npb_point_shards,
+    shard_times,
+)
 from repro.impls import ALL_IMPLEMENTATIONS, IMPLEMENTATION_ORDER
 from repro.report import Table
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    cls = "A" if fast else "B"
-    sample = 4 if fast else "default"
+def _result_from_times(
+    small_times: dict[str, dict[str, float]],
+    grid_times: dict[str, dict[str, float]],
+    fast: bool = False,
+) -> ExperimentResult:
+    cls, _sample = npb_fast_config(fast)
     table = Table(
         ["NAS"] + [ALL_IMPLEMENTATIONS[n].display_name for n in IMPLEMENTATION_ORDER],
         title=(
@@ -29,9 +40,9 @@ def run(fast: bool = False) -> ExperimentResult:
         cells = [bench.upper()]
         row = {"bench": bench}
         for name in IMPLEMENTATION_ORDER:
-            t_small = npb_time(bench, name, "cluster4", cls=cls, sample_iters=sample)
-            t_grid = npb_time(bench, name, "grid16", cls=cls, sample_iters=sample)
-            speedup = 0.0 if t_grid == float("inf") else t_small / t_grid
+            t_small = small_times[bench][name]
+            t_grid = grid_times[bench][name]
+            speedup = 0.0 if math.isinf(t_grid) else t_small / t_grid
             cells.append(speedup)
             row[name] = speedup
         table.add_row(cells)
@@ -43,3 +54,20 @@ def run(fast: bool = False) -> ExperimentResult:
         rows,
         table.render(),
     )
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    small_times = {b: bench_times(b, "cluster4", fast) for b in NPB_ORDER}
+    grid_times = {b: bench_times(b, "grid16", fast) for b in NPB_ORDER}
+    return _result_from_times(small_times, grid_times, fast)
+
+
+def shards(fast: bool = False) -> list[ShardSpec]:
+    # grid16 shards are shared (same task_ids) with figs 10 and 12.
+    return npb_point_shards(("cluster4", "grid16"))
+
+
+def merge(payloads: dict[str, dict], fast: bool = False) -> ExperimentResult:
+    small_times = {b: shard_times(payloads, "cluster4", b) for b in NPB_ORDER}
+    grid_times = {b: shard_times(payloads, "grid16", b) for b in NPB_ORDER}
+    return _result_from_times(small_times, grid_times, fast)

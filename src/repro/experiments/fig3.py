@@ -2,31 +2,22 @@
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
-from repro.experiments.pingpong_common import (
-    FAST_SIZES,
-    FULL_SIZES,
-    bandwidth_curves,
-    figure_result,
-)
+from repro.experiments.pingpong_common import PingPongFigure
 
 PAPER_NOTE = (
     "none of the implementations nor direct TCP exceeds 120 Mbps on the "
     "1 Gbps Rennes-Nancy path with default parameters"
 )
 
+FIGURE = PingPongFigure(
+    experiment_id="fig3",
+    title="Fig. 3: MPI bandwidth on the grid, default parameters",
+    paper_ref="Figure 3, §4.1",
+    where="grid",
+    env_name="default",
+    paper_note=PAPER_NOTE,
+)
 
-def run(fast: bool = False) -> ExperimentResult:
-    curves = bandwidth_curves(
-        where="grid",
-        env_name="default",
-        sizes=FAST_SIZES if fast else FULL_SIZES,
-        repeats=20 if fast else 100,
-    )
-    return figure_result(
-        "fig3",
-        "Fig. 3: MPI bandwidth on the grid, default parameters",
-        "Figure 3, §4.1",
-        curves,
-        PAPER_NOTE,
-    )
+run = FIGURE.run
+shards = FIGURE.shards
+merge = FIGURE.merge

@@ -2,31 +2,22 @@
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
-from repro.experiments.pingpong_common import (
-    FAST_SIZES,
-    FULL_SIZES,
-    bandwidth_curves,
-    figure_result,
-)
+from repro.experiments.pingpong_common import PingPongFigure
 
 PAPER_NOTE = (
     "all implementations reach 940 Mbps (the TCP goodput of GbE); every "
     "curve but GridMPI dips at its eager/rendezvous threshold (~128 kB)"
 )
 
+FIGURE = PingPongFigure(
+    experiment_id="fig5",
+    title="Fig. 5: MPI bandwidth in the Rennes cluster, default parameters",
+    paper_ref="Figure 5, §4.1",
+    where="cluster",
+    env_name="default",
+    paper_note=PAPER_NOTE,
+)
 
-def run(fast: bool = False) -> ExperimentResult:
-    curves = bandwidth_curves(
-        where="cluster",
-        env_name="default",
-        sizes=FAST_SIZES if fast else FULL_SIZES,
-        repeats=20 if fast else 100,
-    )
-    return figure_result(
-        "fig5",
-        "Fig. 5: MPI bandwidth in the Rennes cluster, default parameters",
-        "Figure 5, §4.1",
-        curves,
-        PAPER_NOTE,
-    )
+run = FIGURE.run
+shards = FIGURE.shards
+merge = FIGURE.merge

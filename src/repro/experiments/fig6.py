@@ -2,13 +2,7 @@
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
-from repro.experiments.pingpong_common import (
-    FAST_SIZES,
-    FULL_SIZES,
-    bandwidth_curves,
-    figure_result,
-)
+from repro.experiments.pingpong_common import PingPongFigure
 
 PAPER_NOTE = (
     "~900 Mbps maximum on the grid (940 in the cluster); half bandwidth "
@@ -16,18 +10,15 @@ PAPER_NOTE = (
     "all but GridMPI"
 )
 
+FIGURE = PingPongFigure(
+    experiment_id="fig6",
+    title="Fig. 6: MPI bandwidth on the grid after TCP tuning",
+    paper_ref="Figure 6, §4.2.1",
+    where="grid",
+    env_name="tcp_tuned",
+    paper_note=PAPER_NOTE,
+)
 
-def run(fast: bool = False) -> ExperimentResult:
-    curves = bandwidth_curves(
-        where="grid",
-        env_name="tcp_tuned",
-        sizes=FAST_SIZES if fast else FULL_SIZES,
-        repeats=20 if fast else 100,
-    )
-    return figure_result(
-        "fig6",
-        "Fig. 6: MPI bandwidth on the grid after TCP tuning",
-        "Figure 6, §4.2.1",
-        curves,
-        PAPER_NOTE,
-    )
+run = FIGURE.run
+shards = FIGURE.shards
+merge = FIGURE.merge

@@ -2,31 +2,22 @@
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
-from repro.experiments.pingpong_common import (
-    FAST_SIZES,
-    FULL_SIZES,
-    bandwidth_curves,
-    figure_result,
-)
+from repro.experiments.pingpong_common import PingPongFigure
 
 PAPER_NOTE = (
     "all implementations match TCP (the threshold dip is gone); OpenMPI "
     "alone stays a little lower for big messages"
 )
 
+FIGURE = PingPongFigure(
+    experiment_id="fig7",
+    title="Fig. 7: MPI bandwidth on the grid after TCP + MPI tuning",
+    paper_ref="Figure 7, §4.2.2",
+    where="grid",
+    env_name="fully_tuned",
+    paper_note=PAPER_NOTE,
+)
 
-def run(fast: bool = False) -> ExperimentResult:
-    curves = bandwidth_curves(
-        where="grid",
-        env_name="fully_tuned",
-        sizes=FAST_SIZES if fast else FULL_SIZES,
-        repeats=20 if fast else 100,
-    )
-    return figure_result(
-        "fig7",
-        "Fig. 7: MPI bandwidth on the grid after TCP + MPI tuning",
-        "Figure 7, §4.2.2",
-        curves,
-        PAPER_NOTE,
-    )
+run = FIGURE.run
+shards = FIGURE.shards
+merge = FIGURE.merge

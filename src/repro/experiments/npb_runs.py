@@ -71,6 +71,53 @@ def npb_time(
     return result.time
 
 
+# --- sharding (see repro.experiments.base) ---------------------------------------
+def npb_fast_config(fast: bool) -> tuple[str, "int | str"]:
+    """The (class, sample_iters) pair figs 10-13 use for one fast flag."""
+    return ("A", 4) if fast else ("B", "default")
+
+
+def bench_times(bench: str, placement_kind: str, fast: bool = False) -> dict[str, float]:
+    """Times for every implementation on one (benchmark, placement) point."""
+    cls, sample = npb_fast_config(fast)
+    from repro.impls import IMPLEMENTATION_ORDER
+
+    return {
+        name: npb_time(bench, name, placement_kind, cls=cls, sample_iters=sample)
+        for name in IMPLEMENTATION_ORDER
+    }
+
+
+def run_npb_point_shard(bench: str, placement_kind: str, fast: bool = False) -> dict:
+    """Worker-side shard: one NPB benchmark on one placement, all impls.
+
+    The task_id namespace ``npb/<placement>/<bench>`` is shared between
+    figs 10-13, so a campaign computes each point exactly once even though
+    three figures consume the grid16 column.
+    """
+    return {"times": bench_times(bench, placement_kind, fast)}
+
+
+def npb_point_shards(placement_kinds: "tuple[str, ...]") -> list:
+    """Shard specs covering ``NPB_ORDER`` × the given placements."""
+    from repro.experiments.base import ShardSpec
+
+    return [
+        ShardSpec(
+            task_id=f"npb/{placement_kind}/{bench}",
+            runner="repro.experiments.npb_runs:run_npb_point_shard",
+            params={"bench": bench, "placement_kind": placement_kind},
+        )
+        for placement_kind in placement_kinds
+        for bench in NPB_ORDER
+    ]
+
+
+def shard_times(payloads: dict, placement_kind: str, bench: str) -> dict[str, float]:
+    """Extract one point's per-impl times from merged shard payloads."""
+    return payloads[f"npb/{placement_kind}/{bench}"]["times"]
+
+
 def relative_to_mpich2(
     bench: str, impl_name: str, placement_kind: str, cls: str = "B", **kw
 ) -> float:

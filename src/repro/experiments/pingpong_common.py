@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
-from repro.apps.pingpong import PingPongCurve, mpi_pingpong, tcp_pingpong
-from repro.experiments.base import ExperimentResult
+from repro.apps.pingpong import PingPongCurve, PingPongPoint, mpi_pingpong, tcp_pingpong
+from repro.experiments.base import ExperimentResult, ShardSpec
 from repro.experiments.environments import get_environment, pingpong_pair
 from repro.impls import IMPLEMENTATION_ORDER
 from repro.report import Table, line_chart
@@ -76,3 +77,93 @@ def figure_result(
         text=text,
         extra={"curves": curves},
     )
+
+
+# --- sharding (see repro.experiments.base) ---------------------------------------
+#: shard identity of the reference TCP curve
+TCP_SHARD = "tcp"
+
+
+def run_curve_shard(
+    where: str,
+    env_name: str,
+    curve: str,
+    fast: bool = False,
+) -> dict:
+    """Worker-side shard: one bandwidth curve (``curve`` is ``"tcp"`` or an
+    implementation registry name).
+
+    Every curve already runs in its own simulation ``Environment`` inside
+    :func:`bandwidth_curves` — the network topology built by
+    ``pingpong_pair`` is immutable measurement scaffolding — so computing a
+    single curve in a fresh process yields bit-identical points to the
+    serial loop (asserted by ``tests/test_runner.py``).
+    """
+    sizes = FAST_SIZES if fast else FULL_SIZES
+    repeats = 20 if fast else 100
+    env = get_environment(env_name)
+    net, a, b = pingpong_pair(where)
+    if curve == TCP_SHARD:
+        result = tcp_pingpong(net, a, b, sizes=sizes, repeats=repeats, sysctls=env.sysctls)
+    else:
+        impl = env.impl(curve)
+        result = mpi_pingpong(
+            net, impl, a, b, sizes=sizes, repeats=repeats, sysctls=env.sysctls
+        )
+    return {
+        "label": result.label,
+        "points": [[p.nbytes, p.min_rtt, p.max_bandwidth_mbps] for p in result.points],
+    }
+
+
+def curve_from_payload(payload: dict) -> PingPongCurve:
+    return PingPongCurve(
+        payload["label"],
+        [PingPongPoint(int(n), rtt, bw) for n, rtt, bw in payload["points"]],
+    )
+
+
+@dataclass(frozen=True)
+class PingPongFigure:
+    """Descriptor backing one bandwidth figure: serial run + shard hooks."""
+
+    experiment_id: str
+    title: str
+    paper_ref: str
+    where: str
+    env_name: str
+    paper_note: str
+
+    def run(self, fast: bool = False) -> ExperimentResult:
+        curves = bandwidth_curves(
+            where=self.where,
+            env_name=self.env_name,
+            sizes=FAST_SIZES if fast else FULL_SIZES,
+            repeats=20 if fast else 100,
+        )
+        return figure_result(
+            self.experiment_id, self.title, self.paper_ref, curves, self.paper_note
+        )
+
+    def shards(self, fast: bool = False) -> list[ShardSpec]:
+        labels = (TCP_SHARD, *IMPLEMENTATION_ORDER)
+        return [
+            ShardSpec(
+                task_id=f"pingpong/{self.where}/{self.env_name}/{label}",
+                runner="repro.experiments.pingpong_common:run_curve_shard",
+                params={"where": self.where, "env_name": self.env_name, "curve": label},
+            )
+            for label in labels
+        ]
+
+    def merge(self, payloads: dict[str, dict], fast: bool = False) -> ExperimentResult:
+        # Legend order must match bandwidth_curves: TCP first, then the
+        # implementations in paper order.
+        curves: dict[str, PingPongCurve] = {}
+        for label in (TCP_SHARD, *IMPLEMENTATION_ORDER):
+            task_id = f"pingpong/{self.where}/{self.env_name}/{label}"
+            curve = curve_from_payload(payloads[task_id])
+            curves[curve.label] = curve
+        return figure_result(
+            self.experiment_id, self.title, self.paper_ref, curves, self.paper_note
+        )

@@ -1,8 +1,10 @@
-"""Experiment registry: id -> runner."""
+"""Experiment registry: id -> runner, plus the shard-plan lookup."""
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Callable, Optional
 
 from repro.errors import ExperimentError
 from repro.experiments import (
@@ -23,25 +25,31 @@ from repro.experiments import (
     table6,
     table7,
 )
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, ShardSpec
+
+#: id -> defining module; the module's ``run`` is the experiment, and its
+#: optional ``shards``/``merge`` hooks are the sharding protocol
+MODULES: dict[str, ModuleType] = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "fig3": fig3,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+}
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
-    "table1": table1.run,
-    "table2": table2.run,
-    "table3": table3.run,
-    "table4": table4.run,
-    "table5": table5.run,
-    "table6": table6.run,
-    "table7": table7.run,
-    "fig3": fig3.run,
-    "fig5": fig5.run,
-    "fig6": fig6.run,
-    "fig7": fig7.run,
-    "fig9": fig9.run,
-    "fig10": fig10.run,
-    "fig11": fig11.run,
-    "fig12": fig12.run,
-    "fig13": fig13.run,
+    experiment_id: module.run for experiment_id, module in MODULES.items()
 }
 
 
@@ -56,3 +64,34 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
 
 def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
     return get_experiment(experiment_id)(fast=fast)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Shard decomposition of one experiment (see repro.experiments.base)."""
+
+    experiment_id: str
+    shards: tuple[ShardSpec, ...]
+    #: ``merge(payloads, fast=...) -> ExperimentResult``; runs in the parent
+    merge: Callable[..., ExperimentResult]
+
+
+def get_shard_plan(experiment_id: str, fast: bool = False) -> Optional[ShardPlan]:
+    """The experiment's shard decomposition, or ``None`` if it only runs whole.
+
+    An experiment opts in by defining module-level ``shards``/``merge``
+    hooks next to its ``run`` (see :mod:`repro.experiments.base`).
+    Experiments registered directly in :data:`EXPERIMENTS` (tests do this)
+    have no module entry and run whole.
+    """
+    get_experiment(experiment_id)  # raise ExperimentError for unknown ids
+    module = MODULES.get(experiment_id.lower())
+    shards = getattr(module, "shards", None)
+    merge = getattr(module, "merge", None)
+    if shards is None or merge is None:
+        return None
+    return ShardPlan(
+        experiment_id=experiment_id.lower(),
+        shards=tuple(shards(fast=fast)),
+        merge=merge,
+    )

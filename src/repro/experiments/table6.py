@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.apps import run_ray2mesh
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, ShardSpec
 from repro.experiments.environments import get_environment
 from repro.report import Table
 
@@ -20,26 +22,86 @@ PAPER = {
 _cache: dict[tuple, object] = {}
 
 
-def ray2mesh_results(fast: bool = False):
+@dataclass(frozen=True)
+class Ray2MeshSummary:
+    """The slice of a ray2mesh run that Tables 6 and 7 consume."""
+
+    rays_per_cluster: dict[str, int]
+    comp_time: float
+    merge_time: float
+    total_time: float
+
+
+def _summarise(result) -> Ray2MeshSummary:
+    return Ray2MeshSummary(
+        rays_per_cluster=dict(result.rays_per_cluster),
+        comp_time=result.comp_time,
+        merge_time=result.merge_time,
+        total_time=result.total_time,
+    )
+
+
+def ray2mesh_results(fast: bool = False) -> dict[str, Ray2MeshSummary]:
     """One run per master site (memoised; Table 7 reuses them)."""
     key = ("ray2mesh", fast)
     if key not in _cache:
-        env = get_environment("fully_tuned")
-        total_rays = 100_000 if fast else 1_000_000
-        _cache[key] = {
-            site: run_ray2mesh(
-                env.impl("mpich2"),
-                master_site=site,
-                total_rays=total_rays,
-                sysctls=env.sysctls,
-            )
-            for site in SITES
-        }
-    return _cache[key]
+        _cache[key] = {site: _run_site(site, fast) for site in SITES}
+    return _cache[key]  # type: ignore[return-value]
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    results = ray2mesh_results(fast)
+def _run_site(site: str, fast: bool) -> Ray2MeshSummary:
+    env = get_environment("fully_tuned")
+    total_rays = 100_000 if fast else 1_000_000
+    return _summarise(
+        run_ray2mesh(
+            env.impl("mpich2"),
+            master_site=site,
+            total_rays=total_rays,
+            sysctls=env.sysctls,
+        )
+    )
+
+
+# --- sharding (see repro.experiments.base) ---------------------------------------
+def run_ray2mesh_shard(site: str, fast: bool = False) -> dict:
+    """Worker-side shard: the full ray2mesh run for one master site.
+
+    Shared (same task_ids) with Table 7, so a campaign runs ray2mesh once
+    per site even though both tables consume every run.
+    """
+    summary = _run_site(site, fast)
+    return {
+        "rays_per_cluster": summary.rays_per_cluster,
+        "comp_time": summary.comp_time,
+        "merge_time": summary.merge_time,
+        "total_time": summary.total_time,
+    }
+
+
+def ray2mesh_shards() -> list[ShardSpec]:
+    return [
+        ShardSpec(
+            task_id=f"ray2mesh/{site}",
+            runner="repro.experiments.table6:run_ray2mesh_shard",
+            params={"site": site},
+        )
+        for site in SITES
+    ]
+
+
+def results_from_payloads(payloads: dict[str, dict]) -> dict[str, Ray2MeshSummary]:
+    return {
+        site: Ray2MeshSummary(
+            rays_per_cluster=dict(payloads[f"ray2mesh/{site}"]["rays_per_cluster"]),
+            comp_time=payloads[f"ray2mesh/{site}"]["comp_time"],
+            merge_time=payloads[f"ray2mesh/{site}"]["merge_time"],
+            total_time=payloads[f"ray2mesh/{site}"]["total_time"],
+        )
+        for site in SITES
+    }
+
+
+def _result_from_runs(results: dict[str, Ray2MeshSummary]) -> ExperimentResult:
     per_node = 8  # nodes per cluster; the paper reports per-cluster means
 
     table = Table(
@@ -69,3 +131,15 @@ def run(fast: bool = False) -> ExperimentResult:
         rows,
         "\n".join([table.render(), note]),
     )
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    return _result_from_runs(ray2mesh_results(fast))
+
+
+def shards(fast: bool = False) -> list[ShardSpec]:
+    return ray2mesh_shards()
+
+
+def merge(payloads: dict[str, dict], fast: bool = False) -> ExperimentResult:
+    return _result_from_runs(results_from_payloads(payloads))

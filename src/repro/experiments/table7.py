@@ -2,8 +2,14 @@
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
-from repro.experiments.table6 import SITES, ray2mesh_results
+from repro.experiments.base import ExperimentResult, ShardSpec
+from repro.experiments.table6 import (
+    SITES,
+    Ray2MeshSummary,
+    ray2mesh_results,
+    ray2mesh_shards,
+    results_from_payloads,
+)
 from repro.report import Table
 
 #: paper's Table 7 (seconds): comp / merge / total per master site
@@ -15,8 +21,7 @@ PAPER = {
 }
 
 
-def run(fast: bool = False) -> ExperimentResult:
-    results = ray2mesh_results(fast)
+def _result_from_runs(results: "dict[str, Ray2MeshSummary]") -> ExperimentResult:
     table = Table(
         ["master", "comp (s)", "merge (s)", "total (s)", "paper comp/merge/total"],
         title="Table 7: ray2mesh phase times vs master location",
@@ -51,3 +56,17 @@ def run(fast: bool = False) -> ExperimentResult:
         rows,
         "\n".join([table.render(), note]),
     )
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    return _result_from_runs(ray2mesh_results(fast))
+
+
+def shards(fast: bool = False) -> list[ShardSpec]:
+    # Identical task_ids to table6's shards: the runner executes the four
+    # ray2mesh runs once and feeds both tables.
+    return ray2mesh_shards()
+
+
+def merge(payloads: dict[str, dict], fast: bool = False) -> ExperimentResult:
+    return _result_from_runs(results_from_payloads(payloads))

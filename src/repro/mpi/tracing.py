@@ -49,6 +49,24 @@ class EventTraceHasher:
     def hexdigest(self) -> str:
         return self._hash.hexdigest()
 
+    @classmethod
+    def combine(cls, named_digests: "dict[str, str]", text: str = "") -> str:
+        """Canonical digest over per-shard digests.
+
+        A sharded experiment produces one event-trace digest per shard; the
+        experiment-level digest folds them in *sorted shard-key order* (never
+        completion order) plus the merged rendered text, so the combined hash
+        is independent of worker scheduling.  It is, by construction, a
+        different value from the digest of an unsharded run — artifacts
+        record which mode produced theirs.
+        """
+        hasher = cls()
+        for key in sorted(named_digests):
+            hasher.update_text(f"{key}|{named_digests[key]}\n")
+        if text:
+            hasher.update_text(text)
+        return hasher.hexdigest()
+
 
 @dataclass
 class TrafficSummary:

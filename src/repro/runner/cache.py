@@ -1,0 +1,98 @@
+"""Content-addressed result cache under ``.repro-cache/``.
+
+Cache keys are ``blake2b(task id | fast flag | source digest)`` where the
+source digest hashes every ``*.py`` file of the installed ``repro``
+package: any source change invalidates every entry, so a cached replay can
+never serve results computed by different code.  Entries are small JSON
+documents — the same structured artifacts the runner writes per run — so
+they double as machine-readable experiment records.
+
+Two task namespaces share the store: ``experiment/<id>`` for whole
+experiment results and the shard ``task_id``s of
+:class:`repro.experiments.base.ShardSpec` (e.g. ``npb/grid16/ft``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+#: default cache root, relative to the invocation directory
+DEFAULT_CACHE_ROOT = Path(".repro-cache")
+
+_PACKAGE_ROOT = Path(__file__).resolve().parent.parent  # src/repro
+
+
+def source_digest(package_root: Optional[Path] = None) -> str:
+    """Digest of every ``*.py`` file under the repro package.
+
+    Deterministic: files are folded in sorted relative-path order, with
+    path and content separated by NUL bytes so renames change the digest.
+    """
+    root = Path(package_root) if package_root is not None else _PACKAGE_ROOT
+    hasher = hashlib.blake2b(digest_size=16)
+    for path in sorted(root.rglob("*.py")):
+        hasher.update(path.relative_to(root).as_posix().encode("utf-8"))
+        hasher.update(b"\0")
+        hasher.update(path.read_bytes())
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
+class ResultCache:
+    """Load/store JSON artifacts keyed by (task id, fast flag, source digest)."""
+
+    def __init__(
+        self,
+        root: "Path | str | None" = None,
+        digest: Optional[str] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.root = Path(root) if root is not None else DEFAULT_CACHE_ROOT
+        self.enabled = enabled
+        # Computing the digest walks ~200 files once per cache instance.
+        self.digest = digest if digest is not None else source_digest()
+
+    def key(self, task_id: str, fast: bool) -> str:
+        material = f"{task_id}|fast={fast}|src={self.digest}"
+        return hashlib.blake2b(material.encode("utf-8"), digest_size=16).hexdigest()
+
+    def path(self, task_id: str, fast: bool) -> Path:
+        safe = task_id.replace("/", "_")
+        return self.root / f"{safe}-{self.key(task_id, fast)}.json"
+
+    def load(self, task_id: str, fast: bool) -> Optional[dict]:
+        """The cached artifact, or ``None`` on miss/corruption."""
+        if not self.enabled:
+            return None
+        path = self.path(task_id, fast)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                document = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if document.get("task_id") != task_id:  # hash collision paranoia
+            return None
+        return document.get("artifact")
+
+    def store(self, task_id: str, fast: bool, artifact: dict[str, Any]) -> Optional[Path]:
+        """Write the artifact; returns its path (``None`` when disabled)."""
+        if not self.enabled:
+            return None
+        path = self.path(task_id, fast)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "schema": 1,
+            "task_id": task_id,
+            "fast": fast,
+            "source_digest": self.digest,
+            "artifact": artifact,
+        }
+        # Write-then-rename so a concurrent reader never sees a torn file.
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(document, indent=1), encoding="utf-8")
+        os.replace(tmp, path)
+        return path

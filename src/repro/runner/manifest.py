@@ -1,0 +1,72 @@
+"""``BENCH_experiments.json``: the campaign timing manifest.
+
+Every runner campaign appends one entry recording its configuration
+(jobs, cache state) and per-experiment timings/trace hashes, so serial
+and parallel runs of the same campaign sit side by side — that is the
+evidence behind the "measurably lower wall-clock" claim, and CI uploads
+the file as a build artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.runner.pool import CampaignResult
+
+#: default manifest location: the repository/invocation root
+DEFAULT_BENCH_PATH = Path("BENCH_experiments.json")
+
+#: entries kept per manifest — enough history to compare runs, bounded
+#: so the file never grows without limit
+MAX_RUNS = 50
+
+
+def campaign_entry(campaign: "CampaignResult", label: str = "") -> dict[str, Any]:
+    entry: dict[str, Any] = {
+        # Host-side bookkeeping of when the campaign ran; the simulation
+        # itself never reads this.
+        "unix_time": round(time.time(), 1),  # lint: disable=DET002
+        "label": label,
+        "jobs": campaign.jobs,
+        "cache_enabled": campaign.cache_enabled,
+        "wall_s": round(campaign.wall_s, 3),
+        "ok": campaign.ok,
+        "cached_experiments": len(campaign.cached),
+        "failed_experiments": [run.experiment_id for run in campaign.failures],
+        "experiments": {
+            run.experiment_id: {
+                "fast": run.fast,
+                "ok": run.ok,
+                "cached": run.cached,
+                "sharded": run.sharded,
+                "wall_s": round(run.wall_s, 3),
+                "trace_mode": run.trace_mode,
+                "trace_hash": run.trace_hash,
+            }
+            for run in campaign.runs
+        },
+    }
+    return entry
+
+
+def record_campaign(
+    campaign: "CampaignResult",
+    path: "Path | str | None" = None,
+    label: str = "",
+) -> Path:
+    """Append the campaign to the manifest (kept to ``MAX_RUNS`` entries)."""
+    manifest_path = Path(path) if path is not None else DEFAULT_BENCH_PATH
+    try:
+        document = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if not isinstance(document, dict) or "runs" not in document:
+            document = {"schema": 1, "runs": []}
+    except (OSError, ValueError):
+        document = {"schema": 1, "runs": []}
+    document["runs"] = (document["runs"] + [campaign_entry(campaign, label)])[-MAX_RUNS:]
+    manifest_path.parent.mkdir(parents=True, exist_ok=True)
+    manifest_path.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")
+    return manifest_path

@@ -1,0 +1,446 @@
+"""Process-pool experiment orchestrator.
+
+Execution model
+---------------
+A campaign is a list of :class:`ExperimentSpec`.  Each experiment is first
+looked up in the result cache; misses are executed either in-process
+(``jobs <= 1``, identical to the historical serial loop) or on a
+``ProcessPoolExecutor``.
+
+On the pool path, experiments that expose shard hooks (see
+:mod:`repro.experiments.base`) are decomposed: their shards are submitted
+as individual tasks, deduplicated campaign-wide by ``task_id`` (table6 and
+table7 share the four ray2mesh runs; figs 10/12/13 share the grid16 NPB
+points), and merged back in the parent.  Shard payloads are individually
+cached, so even a partially failed campaign never recomputes completed
+work.
+
+Every unit of work runs under :func:`repro.sim.core.trace_capture`, the
+same hook the determinism sanitizer uses, so each artifact carries an
+event-trace hash.  A sharded experiment records the canonical combination
+of its shard hashes (:meth:`EventTraceHasher.combine`) — a different value
+from an unsharded run's hash, which is why artifacts record the trace
+*mode* alongside the digest.
+
+Failure surfacing
+-----------------
+A raising experiment or shard marks that experiment failed and the
+campaign continues; a worker that dies outright (``BrokenProcessPool``)
+fails every experiment still in flight instead of hanging.  The campaign
+result always reports what completed, what was cached, and what failed.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.mpi.tracing import EventTraceHasher
+from repro.runner.cache import ResultCache
+from repro.sim.core import trace_capture
+
+#: fork keeps workers cheap and lets tests inject registry entries; fall
+#: back to the platform default where fork does not exist (Windows).
+_START_METHOD = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One requested experiment run."""
+
+    experiment_id: str
+    fast: bool = False
+
+    @property
+    def key(self) -> tuple[str, bool]:
+        return (self.experiment_id, self.fast)
+
+
+@dataclass
+class ExperimentRun:
+    """Outcome of one experiment within a campaign."""
+
+    experiment_id: str
+    fast: bool
+    ok: bool
+    cached: bool = False
+    sharded: bool = False
+    #: aggregate worker seconds (for a sharded run: the sum over its
+    #: shards, including shards shared with other experiments)
+    wall_s: float = 0.0
+    text: str = ""
+    rows: list = field(default_factory=list)
+    title: str = ""
+    paper_ref: str = ""
+    trace_hash: str = ""
+    trace_mode: str = "serial"
+    trace_events: int = 0
+    error: Optional[str] = None
+
+    def artifact(self) -> dict[str, Any]:
+        """The structured JSON artifact stored in the cache / out dir."""
+        return {
+            "kind": "experiment",
+            "experiment_id": self.experiment_id,
+            "fast": self.fast,
+            "ok": self.ok,
+            "sharded": self.sharded,
+            "wall_s": round(self.wall_s, 3),
+            "trace_hash": self.trace_hash,
+            "trace_mode": self.trace_mode,
+            "trace_events": self.trace_events,
+            "title": self.title,
+            "paper_ref": self.paper_ref,
+            "rows": self.rows,
+            "text": self.text,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_artifact(cls, spec: ExperimentSpec, artifact: dict) -> "ExperimentRun":
+        return cls(
+            experiment_id=spec.experiment_id,
+            fast=spec.fast,
+            ok=bool(artifact.get("ok", False)),
+            cached=True,
+            sharded=bool(artifact.get("sharded", False)),
+            wall_s=float(artifact.get("wall_s", 0.0)),
+            text=artifact.get("text", ""),
+            rows=artifact.get("rows", []),
+            title=artifact.get("title", ""),
+            paper_ref=artifact.get("paper_ref", ""),
+            trace_hash=artifact.get("trace_hash", ""),
+            trace_mode=artifact.get("trace_mode", "serial"),
+            trace_events=int(artifact.get("trace_events", 0)),
+            error=artifact.get("error"),
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Everything one ``run_campaign`` call did."""
+
+    runs: list[ExperimentRun]
+    wall_s: float
+    jobs: int
+    cache_enabled: bool
+
+    @property
+    def failures(self) -> list[ExperimentRun]:
+        return [run for run in self.runs if not run.ok]
+
+    @property
+    def cached(self) -> list[ExperimentRun]:
+        return [run for run in self.runs if run.cached]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        done = len(self.runs) - len(self.failures)
+        parts = [
+            f"{done}/{len(self.runs)} experiments ok",
+            f"{len(self.cached)} cached",
+            f"jobs={self.jobs}",
+            f"{self.wall_s:.1f}s wall",
+        ]
+        if self.failures:
+            failed = ", ".join(run.experiment_id for run in self.failures)
+            parts.append(f"FAILED: {failed}")
+        return "; ".join(parts)
+
+
+# --- worker-side functions (module-level: picklable by reference) ----------------
+def _resolve(dotted: str) -> Callable[..., Any]:
+    module_name, _, func_name = dotted.partition(":")
+    return getattr(importlib.import_module(module_name), func_name)
+
+
+def _shard_worker(runner: str, params: dict, fast: bool) -> dict:
+    """Execute one shard under trace capture; returns its artifact."""
+    started = time.monotonic()  # host-side timing, not sim state  # lint: disable=DET002
+    with trace_capture() as hasher:
+        payload = _resolve(runner)(fast=fast, **params)
+    elapsed = time.monotonic() - started  # lint: disable=DET002
+    return {
+        "kind": "shard",
+        "payload": payload,
+        "wall_s": round(elapsed, 3),
+        "trace_hash": hasher.hexdigest(),
+        "trace_events": hasher.events,
+    }
+
+
+def _experiment_worker(experiment_id: str, fast: bool) -> dict:
+    """Execute one whole experiment under trace capture."""
+    from repro.experiments import run_experiment
+
+    started = time.monotonic()  # host-side timing, not sim state  # lint: disable=DET002
+    with trace_capture() as hasher:
+        result = run_experiment(experiment_id, fast=fast)
+    elapsed = time.monotonic() - started  # lint: disable=DET002
+    # Same convention as the sanitizer: fold the rendered text so
+    # value-level divergence changes the hash too.
+    hasher.update_text(result.text)
+    return {
+        "wall_s": elapsed,
+        "trace_hash": hasher.hexdigest(),
+        "trace_events": hasher.events,
+        "title": result.title,
+        "paper_ref": result.paper_ref,
+        "rows": result.rows,
+        "text": result.text,
+    }
+
+
+def _describe_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+# --- orchestration ---------------------------------------------------------------
+def _run_from_worker_payload(spec: ExperimentSpec, payload: dict) -> ExperimentRun:
+    return ExperimentRun(
+        experiment_id=spec.experiment_id,
+        fast=spec.fast,
+        ok=True,
+        wall_s=payload["wall_s"],
+        text=payload["text"],
+        rows=payload["rows"],
+        title=payload["title"],
+        paper_ref=payload["paper_ref"],
+        trace_hash=payload["trace_hash"],
+        trace_mode="serial",
+        trace_events=payload["trace_events"],
+    )
+
+
+def _failed_run(spec: ExperimentSpec, error: str, sharded: bool = False) -> ExperimentRun:
+    return ExperimentRun(
+        experiment_id=spec.experiment_id,
+        fast=spec.fast,
+        ok=False,
+        sharded=sharded,
+        error=error,
+    )
+
+
+def _run_serial(
+    misses: list[ExperimentSpec],
+    cache: ResultCache,
+    progress: Optional[Callable[[str], None]],
+) -> dict[tuple[str, bool], ExperimentRun]:
+    """The historical one-at-a-time loop, minus its abort-on-first-error."""
+    runs: dict[tuple[str, bool], ExperimentRun] = {}
+    for spec in misses:
+        try:
+            payload = _experiment_worker(spec.experiment_id, spec.fast)
+            run = _run_from_worker_payload(spec, payload)
+        except Exception as exc:  # noqa: BLE001 - surfaced in the campaign result
+            run = _failed_run(spec, _describe_error(exc))
+        _finish_run(run, cache, progress)
+        runs[spec.key] = run
+    return runs
+
+
+def _finish_run(
+    run: ExperimentRun,
+    cache: ResultCache,
+    progress: Optional[Callable[[str], None]],
+) -> None:
+    if run.ok:
+        cache.store(f"experiment/{run.experiment_id}", run.fast, run.artifact())
+    if progress is not None:
+        state = "failed" if not run.ok else ("cached" if run.cached else "ok")
+        progress(f"{run.experiment_id}: {run.wall_s:7.1f}s [{state}]")
+
+
+def _run_parallel(
+    misses: list[ExperimentSpec],
+    cache: ResultCache,
+    jobs: int,
+    progress: Optional[Callable[[str], None]],
+) -> dict[tuple[str, bool], ExperimentRun]:
+    from repro.experiments.registry import ShardPlan, get_shard_plan
+
+    context = (
+        multiprocessing.get_context(_START_METHOD) if _START_METHOD else None
+    )
+    runs: dict[tuple[str, bool], ExperimentRun] = {}
+    plans: dict[tuple[str, bool], ShardPlan] = {}
+    experiment_futures: dict[tuple[str, bool], Future] = {}
+    #: (shard task_id, fast) -> completed shard artifact
+    shard_results: dict[tuple[str, bool], dict] = {}
+    shard_futures: dict[tuple[str, bool], Future] = {}
+
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+        for spec in misses:
+            try:
+                plan = get_shard_plan(spec.experiment_id, spec.fast)
+            except Exception as exc:  # noqa: BLE001
+                runs[spec.key] = _failed_run(spec, _describe_error(exc))
+                continue
+            if plan is None:
+                experiment_futures[spec.key] = pool.submit(
+                    _experiment_worker, spec.experiment_id, spec.fast
+                )
+                continue
+            plans[spec.key] = plan
+            for shard in plan.shards:
+                shard_key = (shard.task_id, spec.fast)
+                if shard_key in shard_results or shard_key in shard_futures:
+                    continue  # deduplicated across experiments
+                cached = cache.load(shard.task_id, spec.fast)
+                if cached is not None:
+                    shard_results[shard_key] = cached
+                else:
+                    shard_futures[shard_key] = pool.submit(
+                        _shard_worker, shard.runner, shard.params, spec.fast
+                    )
+
+        # Collect shards first (they gate the merges).  A BrokenProcessPool
+        # makes every remaining future raise immediately, so this loop
+        # terminates — no hang — and the affected experiments fail below.
+        for (task_id, fast), future in shard_futures.items():
+            try:
+                artifact = future.result()
+                shard_results[(task_id, fast)] = artifact
+                cache.store(task_id, fast, artifact)
+            except Exception as exc:  # noqa: BLE001
+                shard_results[(task_id, fast)] = {"error": _describe_error(exc)}
+
+        for spec in misses:
+            if spec.key in runs:
+                continue
+            if spec.key in experiment_futures:
+                try:
+                    payload = experiment_futures[spec.key].result()
+                    run = _run_from_worker_payload(spec, payload)
+                except Exception as exc:  # noqa: BLE001
+                    run = _failed_run(spec, _describe_error(exc))
+            else:
+                run = _merge_sharded(spec, plans[spec.key], shard_results)
+            _finish_run(run, cache, progress)
+            runs[spec.key] = run
+    return runs
+
+
+def _merge_sharded(
+    spec: ExperimentSpec,
+    plan: "Any",
+    shard_results: dict[tuple[str, bool], dict],
+) -> ExperimentRun:
+    payloads: dict[str, Any] = {}
+    shard_hashes: dict[str, str] = {}
+    wall = 0.0
+    events = 0
+    failed: list[str] = []
+    for shard in plan.shards:
+        artifact = shard_results.get((shard.task_id, spec.fast), {})
+        if "payload" not in artifact:
+            failed.append(f"{shard.task_id} ({artifact.get('error', 'missing')})")
+            continue
+        payloads[shard.task_id] = artifact["payload"]
+        shard_hashes[shard.task_id] = artifact.get("trace_hash", "")
+        wall += float(artifact.get("wall_s", 0.0))
+        events += int(artifact.get("trace_events", 0))
+    if failed:
+        return _failed_run(
+            spec, "shard failure: " + "; ".join(failed), sharded=True
+        )
+    try:
+        result = plan.merge(payloads, fast=spec.fast)
+    except Exception as exc:  # noqa: BLE001
+        return _failed_run(spec, f"merge failed: {_describe_error(exc)}", sharded=True)
+    return ExperimentRun(
+        experiment_id=spec.experiment_id,
+        fast=spec.fast,
+        ok=True,
+        sharded=True,
+        wall_s=wall,
+        text=result.text,
+        rows=result.rows,
+        title=result.title,
+        paper_ref=result.paper_ref,
+        trace_hash=EventTraceHasher.combine(shard_hashes, result.text),
+        trace_mode="sharded",
+        trace_events=events,
+    )
+
+
+def run_campaign(
+    specs: list[ExperimentSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    use_cache: bool = True,
+    out_dir: "Path | str | None" = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Run a campaign; never raises for individual experiment failures.
+
+    ``cache`` may be injected (tests use a tmp root / pinned digest);
+    otherwise a default :class:`ResultCache` under ``.repro-cache/`` is
+    built with ``enabled=use_cache``.
+    """
+    started = time.monotonic()  # host-side timing, not sim state  # lint: disable=DET002
+    if cache is None:
+        cache = ResultCache(enabled=use_cache, digest="" if not use_cache else None)
+
+    runs: dict[tuple[str, bool], ExperimentRun] = {}
+    misses: list[ExperimentSpec] = []
+    for spec in specs:
+        if spec.key in runs or spec in misses:
+            continue
+        artifact = cache.load(f"experiment/{spec.experiment_id}", spec.fast)
+        if artifact is not None and artifact.get("ok"):
+            run = ExperimentRun.from_artifact(spec, artifact)
+            if progress is not None:
+                progress(f"{spec.experiment_id}: {run.wall_s:7.1f}s [cached]")
+            runs[spec.key] = run
+        else:
+            misses.append(spec)
+
+    if misses:
+        if jobs <= 1:
+            runs.update(_run_serial(misses, cache, progress))
+        else:
+            runs.update(_run_parallel(misses, cache, jobs, progress))
+
+    ordered = [runs[spec.key] for spec in specs]
+    elapsed = time.monotonic() - started  # lint: disable=DET002
+    campaign = CampaignResult(
+        runs=ordered, wall_s=elapsed, jobs=jobs, cache_enabled=cache.enabled
+    )
+    if out_dir is not None:
+        write_reports(campaign, Path(out_dir))
+    return campaign
+
+
+def write_reports(campaign: CampaignResult, out_dir: Path) -> None:
+    """``<id>.txt`` rendered reports + ``json/<id>.json`` artifacts.
+
+    The text format (report, blank line, wall/fast footer) is the one the
+    committed goldens under ``results/`` use; CI diffs these files with
+    the footer line ignored.
+    """
+    import json
+
+    json_dir = out_dir / "json"
+    json_dir.mkdir(parents=True, exist_ok=True)
+    for run in campaign.runs:
+        if not run.ok:
+            continue
+        text_path = out_dir / f"{run.experiment_id}.txt"
+        text_path.write_text(
+            run.text + f"\n\n[{run.wall_s:.1f}s wall, fast={run.fast}]\n",
+            encoding="utf-8",
+        )
+        json_path = json_dir / f"{run.experiment_id}.json"
+        json_path.write_text(
+            json.dumps(run.artifact(), indent=1), encoding="utf-8"
+        )

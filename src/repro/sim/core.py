@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Generator
+from contextlib import contextmanager
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
@@ -46,6 +47,31 @@ def remove_trace_sink(sink: Callable[[float, int, int, "Event"], None]) -> None:
         _TRACE_SINKS.remove(sink)
     except ValueError:
         pass
+
+
+@contextmanager
+def trace_capture(hasher: Optional[Any] = None) -> Any:
+    """Observe every processed event through an ``EventTraceHasher``.
+
+    Installs the hasher as a trace sink for the duration of the block and
+    always removes it, even when the traced experiment raises.  This is the
+    one entry point shared by the determinism sanitizer and the parallel
+    experiment runner, so both derive their trace hashes from the same
+    event stream::
+
+        with trace_capture() as hasher:
+            result = run_experiment("fig3", fast=True)
+        digest = hasher.hexdigest()
+    """
+    if hasher is None:
+        from repro.mpi.tracing import EventTraceHasher
+
+        hasher = EventTraceHasher()
+    install_trace_sink(hasher)
+    try:
+        yield hasher
+    finally:
+        remove_trace_sink(hasher)
 
 
 class Interrupt(Exception):

@@ -1,0 +1,82 @@
+"""CI plumbing: the workflow file parses and encodes the gate we expect,
+and scripts/check.sh is syntactically valid shell.
+
+This is the "actionlint or equivalent dry parse" gate: it cannot run
+GitHub's runner, but it catches broken YAML, dropped jobs, and a check
+script that would not even parse — the failure modes that silently turn
+CI green.
+"""
+
+import pathlib
+import shutil
+import subprocess
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+WORKFLOW = REPO / ".github" / "workflows" / "ci.yml"
+CHECK_SH = REPO / "scripts" / "check.sh"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return yaml.safe_load(WORKFLOW.read_text())
+
+
+def _run_commands(job: dict) -> str:
+    return "\n".join(step.get("run", "") for step in job["steps"])
+
+
+def test_workflow_parses_with_jobs(workflow):
+    assert set(workflow["jobs"]) == {"check", "experiments"}
+    # `on:` parses as the YAML boolean True key
+    triggers = workflow.get("on", workflow.get(True))
+    assert "pull_request" in triggers and "push" in triggers
+
+
+def test_concurrency_cancels_superseded_runs(workflow):
+    concurrency = workflow["concurrency"]
+    assert concurrency["cancel-in-progress"] is True
+    assert "github.ref" in concurrency["group"]
+
+
+def test_check_job_matrix_and_gate(workflow):
+    check = workflow["jobs"]["check"]
+    assert check["strategy"]["matrix"]["python-version"] == ["3.10", "3.11", "3.12"]
+    setup = next(
+        step for step in check["steps"] if "setup-python" in step.get("uses", "")
+    )
+    assert setup["with"]["cache"] == "pip"
+    commands = _run_commands(check)
+    assert "CI=1" in commands and "scripts/check.sh" in commands
+
+
+def test_experiments_job_runs_parallel_smoke_and_uploads(workflow):
+    experiments = workflow["jobs"]["experiments"]
+    assert experiments["needs"] == "check"
+    commands = _run_commands(experiments)
+    assert "repro run all --fast --jobs 4" in commands
+    assert "git diff --exit-code" in commands
+    upload = next(
+        step for step in experiments["steps"] if "upload-artifact" in step.get("uses", "")
+    )
+    assert "BENCH_experiments.json" in upload["with"]["path"]
+    assert "results/" in upload["with"]["path"]
+
+
+def test_check_sh_is_valid_shell():
+    bash = shutil.which("bash")
+    if bash is None:
+        pytest.skip("bash not available")
+    proc = subprocess.run([bash, "-n", str(CHECK_SH)], capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_fast_goldens_exist_for_the_ci_diff():
+    fast_dir = REPO / "results" / "fast"
+    committed = sorted(p.name for p in fast_dir.glob("*.txt"))
+    from repro.experiments import EXPERIMENTS
+
+    assert committed == sorted(f"{eid}.txt" for eid in EXPERIMENTS)

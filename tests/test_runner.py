@@ -1,0 +1,290 @@
+"""Runner subsystem: cache semantics, parallel/serial identity, failures.
+
+The fake experiments below are injected into the live registry dict; the
+pool uses the fork start method (skipped where unavailable), so worker
+processes inherit the injected entries without pickling the functions.
+"""
+
+import importlib.util
+import json
+import multiprocessing
+import os
+import pathlib
+import sys
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import get_shard_plan
+from repro.runner import ExperimentSpec, ResultCache, record_campaign, run_campaign
+from repro.runner.cache import source_digest
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="pool tests require the fork start method",
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _tiny_experiment(fast=False):
+    return ExperimentResult("tiny", "Tiny", "Table 0", [{"x": 1}], "tiny report")
+
+
+def _raising_experiment(fast=False):
+    raise RuntimeError("synthetic experiment failure")
+
+
+def _crashing_experiment(fast=False):
+    os._exit(3)  # simulate a worker segfault: no exception, no cleanup
+
+
+@pytest.fixture()
+def tiny(monkeypatch):
+    monkeypatch.setitem(EXPERIMENTS, "tiny", _tiny_experiment)
+    return "tiny"
+
+
+# --- cache semantics --------------------------------------------------------------
+def test_cache_miss_then_hit(tmp_path, tiny):
+    cache = ResultCache(root=tmp_path, digest="digest-a")
+    specs = [ExperimentSpec(tiny, fast=True)]
+
+    first = run_campaign(specs, cache=cache)
+    assert first.ok and not first.runs[0].cached
+    assert first.runs[0].trace_hash  # sanitizer hook ran
+
+    second = run_campaign(specs, cache=cache)
+    assert second.ok and second.runs[0].cached
+    assert second.runs[0].text == first.runs[0].text
+    assert second.runs[0].trace_hash == first.runs[0].trace_hash
+
+
+def test_source_digest_invalidates_cache(tmp_path, tiny):
+    specs = [ExperimentSpec(tiny, fast=True)]
+    run_campaign(specs, cache=ResultCache(root=tmp_path, digest="digest-a"))
+    # Same tree, same digest -> hit; changed source digest -> miss.
+    hit = run_campaign(specs, cache=ResultCache(root=tmp_path, digest="digest-a"))
+    miss = run_campaign(specs, cache=ResultCache(root=tmp_path, digest="digest-b"))
+    assert hit.runs[0].cached
+    assert not miss.runs[0].cached
+
+
+def test_fast_flag_is_part_of_the_key(tmp_path, tiny):
+    cache = ResultCache(root=tmp_path, digest="digest-a")
+    run_campaign([ExperimentSpec(tiny, fast=True)], cache=cache)
+    full = run_campaign([ExperimentSpec(tiny, fast=False)], cache=cache)
+    assert not full.runs[0].cached
+
+
+def test_disabled_cache_never_hits(tmp_path, tiny):
+    cache = ResultCache(root=tmp_path, digest="digest-a", enabled=False)
+    run_campaign([ExperimentSpec(tiny, fast=True)], cache=cache)
+    again = run_campaign([ExperimentSpec(tiny, fast=True)], cache=cache)
+    assert not again.runs[0].cached
+    assert list(tmp_path.iterdir()) == []  # nothing written
+
+
+def test_cache_roundtrips_infinities(tmp_path):
+    cache = ResultCache(root=tmp_path, digest="digest-a")
+    cache.store("npb/test/point", True, {"payload": {"times": {"a": float("inf")}}})
+    loaded = cache.load("npb/test/point", True)
+    assert loaded["payload"]["times"]["a"] == float("inf")
+
+
+def test_source_digest_changes_with_content(tmp_path):
+    (tmp_path / "m.py").write_text("x = 1\n")
+    before = source_digest(tmp_path)
+    (tmp_path / "m.py").write_text("x = 2\n")
+    assert source_digest(tmp_path) != before
+
+
+# --- parallel == serial -----------------------------------------------------------
+@needs_fork
+def test_sharded_parallel_output_is_byte_identical_to_serial(tmp_path):
+    direct = run_experiment("fig6", fast=True)
+    campaign = run_campaign(
+        [ExperimentSpec("fig6", fast=True)],
+        jobs=4,
+        cache=ResultCache(root=tmp_path, digest="digest-a"),
+        out_dir=tmp_path / "out",
+    )
+    run = campaign.runs[0]
+    assert run.ok and run.sharded
+    assert run.text == direct.text
+    assert run.trace_mode == "sharded"
+    # the written report is the golden format: text + wall/fast footer
+    written = (tmp_path / "out" / "fig6.txt").read_text()
+    body, footer = written.rsplit("\n\n", 1)
+    assert body == direct.text
+    assert footer.startswith("[") and "s wall, fast=True]" in footer
+    # warm-cache replay returns the same bytes
+    warm = run_campaign(
+        [ExperimentSpec("fig6", fast=True)],
+        jobs=4,
+        cache=ResultCache(root=tmp_path, digest="digest-a"),
+    )
+    assert warm.runs[0].cached and warm.runs[0].text == direct.text
+
+
+def test_npb_merge_is_identical_to_serial(monkeypatch):
+    # Prefill the NPB memo so neither path simulates anything; the test
+    # pins merge() to the serial rendering, value for value.
+    from repro.experiments import fig10, fig12, npb_runs
+    from repro.impls import IMPLEMENTATION_ORDER
+
+    cls, sample = npb_runs.npb_fast_config(True)
+    fake = {}
+    for placement in ("grid16", "cluster16"):
+        for i, bench in enumerate(npb_runs.NPB_ORDER):
+            for j, name in enumerate(IMPLEMENTATION_ORDER):
+                t = float("inf") if (i, j) == (2, 3) else 10.0 + i + 0.1 * j
+                fake[(bench, name, placement, cls, "fully_tuned", sample)] = t
+    monkeypatch.setattr(npb_runs, "_cache", fake)
+
+    for module in (fig10, fig12):
+        payloads = {
+            shard.task_id: npb_runs.run_npb_point_shard(fast=True, **shard.params)
+            for shard in module.shards(fast=True)
+        }
+        # JSON round-trip, as the shard cache would do
+        payloads = json.loads(json.dumps(payloads))
+        assert module.merge(payloads, fast=True).text == module.run(fast=True).text
+
+
+def test_ray2mesh_merge_is_identical_to_serial(monkeypatch):
+    from repro.experiments import table6, table7
+
+    fake = {
+        site: table6.Ray2MeshSummary(
+            rays_per_cluster={s: 1000 + 10 * i + j for j, s in enumerate(table6.SITES)},
+            comp_time=100.0 + i,
+            merge_time=50.0 + i,
+            total_time=150.0 + 2 * i,
+        )
+        for i, site in enumerate(table6.SITES)
+    }
+    monkeypatch.setattr(table6, "_cache", {("ray2mesh", True): fake})
+    payloads = {
+        f"ray2mesh/{site}": {
+            "rays_per_cluster": fake[site].rays_per_cluster,
+            "comp_time": fake[site].comp_time,
+            "merge_time": fake[site].merge_time,
+            "total_time": fake[site].total_time,
+        }
+        for site in table6.SITES
+    }
+    payloads = json.loads(json.dumps(payloads))
+    assert table6.merge(payloads, fast=True).text == table6.run(fast=True).text
+    assert table7.merge(payloads, fast=True).text == table7.run(fast=True).text
+
+
+def test_shard_plans_dedupe_across_experiments():
+    t6 = [s.task_id for s in get_shard_plan("table6", fast=True).shards]
+    t7 = [s.task_id for s in get_shard_plan("table7", fast=True).shards]
+    assert t6 == t7  # one ray2mesh run per site feeds both tables
+
+    grid16 = {s.task_id for s in get_shard_plan("fig10", fast=True).shards}
+    assert grid16 <= {s.task_id for s in get_shard_plan("fig12", fast=True).shards}
+    assert grid16 <= {s.task_id for s in get_shard_plan("fig13", fast=True).shards}
+
+
+def test_unsharded_experiments_have_no_plan():
+    assert get_shard_plan("table1", fast=True) is None
+
+
+# --- failure surfacing ------------------------------------------------------------
+def test_raising_experiment_fails_without_aborting_campaign(tmp_path, monkeypatch, tiny):
+    monkeypatch.setitem(EXPERIMENTS, "boom", _raising_experiment)
+    campaign = run_campaign(
+        [ExperimentSpec("boom", fast=True), ExperimentSpec(tiny, fast=True)],
+        cache=ResultCache(root=tmp_path, digest="digest-a"),
+    )
+    assert not campaign.ok
+    boom, tiny_run = campaign.runs
+    assert not boom.ok and "RuntimeError" in boom.error
+    assert tiny_run.ok  # the loop kept going
+    assert "FAILED: boom" in campaign.summary()
+    # failures are never cached
+    rerun = run_campaign(
+        [ExperimentSpec("boom", fast=True)],
+        cache=ResultCache(root=tmp_path, digest="digest-a"),
+    )
+    assert not rerun.runs[0].cached
+
+
+@needs_fork
+def test_raising_experiment_fails_on_the_pool_too(tmp_path, monkeypatch, tiny):
+    monkeypatch.setitem(EXPERIMENTS, "boom", _raising_experiment)
+    campaign = run_campaign(
+        [ExperimentSpec("boom", fast=True), ExperimentSpec(tiny, fast=True)],
+        jobs=2,
+        cache=ResultCache(root=tmp_path, digest="digest-a"),
+    )
+    assert not campaign.ok
+    assert "RuntimeError" in campaign.runs[0].error
+    assert campaign.runs[1].ok
+
+
+@needs_fork
+def test_worker_crash_surfaces_as_failure_not_hang(tmp_path, monkeypatch):
+    monkeypatch.setitem(EXPERIMENTS, "crash", _crashing_experiment)
+    campaign = run_campaign(
+        [ExperimentSpec("crash", fast=True)],
+        jobs=2,
+        cache=ResultCache(root=tmp_path, digest="digest-a"),
+    )
+    assert not campaign.ok
+    assert campaign.runs[0].error  # BrokenProcessPool, surfaced as text
+
+
+# --- front-ends -------------------------------------------------------------------
+def test_run_all_wrapper_reports_failures_with_exit_code(tmp_path, monkeypatch, tiny, capsys):
+    spec = importlib.util.spec_from_file_location(
+        "run_all_experiments", REPO / "scripts" / "run_all_experiments.py"
+    )
+    wrapper = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(wrapper)
+
+    monkeypatch.setitem(EXPERIMENTS, "boom", _raising_experiment)
+    monkeypatch.chdir(tmp_path)  # manifest + cache land in the tmp dir
+    monkeypatch.setattr(
+        sys,
+        "argv",
+        ["run_all_experiments.py", "boom", tiny, "--out", str(tmp_path / "out")],
+    )
+    assert wrapper.main() == 1  # non-zero, but the sweep kept going
+    out = capsys.readouterr().out
+    assert "1/2 experiments ok" in out and "FAILED: boom" in out
+    assert (tmp_path / "out" / "tiny.txt").exists()
+    assert not (tmp_path / "out" / "boom.txt").exists()
+    assert (tmp_path / "BENCH_experiments.json").exists()
+
+
+def test_cli_run_with_jobs_out_and_bench(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    rc = main(["run", "table1", "--jobs", "2", "--out", "o", "--bench", "b.json"])
+    assert rc == 0
+    assert "[table1:" in capsys.readouterr().out
+    assert (tmp_path / "o" / "table1.txt").exists()
+    assert (tmp_path / "o" / "json" / "table1.json").exists()
+    assert "table1" in json.loads((tmp_path / "b.json").read_text())["runs"][-1]["experiments"]
+
+
+# --- manifest ---------------------------------------------------------------------
+def test_manifest_records_serial_and_parallel_runs(tmp_path, tiny):
+    bench = tmp_path / "BENCH.json"
+    cache = ResultCache(root=tmp_path / "cache", digest="digest-a", enabled=False)
+    serial = run_campaign([ExperimentSpec(tiny, fast=True)], jobs=1, cache=cache)
+    record_campaign(serial, path=bench, label="serial")
+    parallel = run_campaign([ExperimentSpec(tiny, fast=True)], jobs=8, cache=cache)
+    record_campaign(parallel, path=bench, label="parallel")
+
+    document = json.loads(bench.read_text())
+    assert [entry["label"] for entry in document["runs"]] == ["serial", "parallel"]
+    assert [entry["jobs"] for entry in document["runs"]] == [1, 8]
+    for entry in document["runs"]:
+        assert entry["ok"] and "tiny" in entry["experiments"]

@@ -3,9 +3,12 @@
 
     python scripts/run_all_experiments.py [--fast] [--jobs N] [ids...]
 
-Thin wrapper over the parallel orchestrator (``repro.runner``); used to
-regenerate the numbers quoted in EXPERIMENTS.md.  Exits non-zero when any
-experiment fails, after running — and summarising — everything else.
+Thin wrapper over the parallel orchestrator (``repro.runner``), producing
+byte-identical reports to ``repro run all [--fast]``: with no flags it
+regenerates the paper-scale goldens under ``results/``, and
+``--fast --out results/fast`` regenerates the fast golden set that CI
+diffs against.  Exits non-zero when any experiment fails, after running —
+and summarising — everything else.
 """
 
 import argparse
@@ -13,10 +16,6 @@ import sys
 
 from repro.experiments import EXPERIMENTS, get_experiment
 from repro.runner import ExperimentSpec, record_campaign, run_campaign
-
-#: cheap experiments always run at paper scale; the NPB/ray2mesh ones are
-#: driven by --fast
-ALWAYS_FULL = {"table1", "table3", "table4", "fig3", "fig5", "fig6", "fig7", "fig9"}
 
 
 def main() -> int:
@@ -32,11 +31,7 @@ def main() -> int:
     for experiment_id in ids:
         get_experiment(experiment_id)  # fail fast on a typo'd id
     specs = [
-        ExperimentSpec(
-            experiment_id,
-            fast=args.fast and experiment_id not in ALWAYS_FULL,
-        )
-        for experiment_id in ids
+        ExperimentSpec(experiment_id, fast=args.fast) for experiment_id in ids
     ]
 
     campaign = run_campaign(

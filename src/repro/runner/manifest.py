@@ -10,6 +10,7 @@ the file as a build artifact.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
@@ -68,5 +69,9 @@ def record_campaign(
         document = {"schema": 1, "runs": []}
     document["runs"] = (document["runs"] + [campaign_entry(campaign, label)])[-MAX_RUNS:]
     manifest_path.parent.mkdir(parents=True, exist_ok=True)
-    manifest_path.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")
+    # Write-then-rename, matching the cache: a concurrent reader (or a
+    # crash mid-write) never sees a torn manifest.
+    tmp = manifest_path.with_suffix(f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")
+    os.replace(tmp, manifest_path)
     return manifest_path

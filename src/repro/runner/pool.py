@@ -433,14 +433,18 @@ def write_reports(campaign: CampaignResult, out_dir: Path) -> None:
     json_dir = out_dir / "json"
     json_dir.mkdir(parents=True, exist_ok=True)
     for run in campaign.runs:
-        if not run.ok:
-            continue
         text_path = out_dir / f"{run.experiment_id}.txt"
+        json_path = json_dir / f"{run.experiment_id}.json"
+        if not run.ok:
+            # Drop whatever a previous run left behind, so a failure never
+            # leaves a stale report that looks current.
+            text_path.unlink(missing_ok=True)
+            json_path.unlink(missing_ok=True)
+            continue
         text_path.write_text(
             run.text + f"\n\n[{run.wall_s:.1f}s wall, fast={run.fast}]\n",
             encoding="utf-8",
         )
-        json_path = json_dir / f"{run.experiment_id}.json"
         json_path.write_text(
             json.dumps(run.artifact(), indent=1), encoding="utf-8"
         )

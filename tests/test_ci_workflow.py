@@ -59,6 +59,11 @@ def test_experiments_job_runs_parallel_smoke_and_uploads(workflow):
     commands = _run_commands(experiments)
     assert "repro run all --fast --jobs 4" in commands
     assert "git diff --exit-code" in commands
+    # Only *untracked* reports fail the golden gate: the campaign rewrites
+    # every tracked golden's wall-time footer, so a tracked-modified check
+    # (git status --porcelain) would always fail.
+    assert "git ls-files --others --exclude-standard" in commands
+    assert "git status --porcelain" not in commands
     upload = next(
         step for step in experiments["steps"] if "upload-artifact" in step.get("uses", "")
     )

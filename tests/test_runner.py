@@ -240,15 +240,22 @@ def test_worker_crash_surfaces_as_failure_not_hang(tmp_path, monkeypatch):
 
 
 # --- front-ends -------------------------------------------------------------------
-def test_run_all_wrapper_reports_failures_with_exit_code(tmp_path, monkeypatch, tiny, capsys):
+def _load_wrapper():
     spec = importlib.util.spec_from_file_location(
         "run_all_experiments", REPO / "scripts" / "run_all_experiments.py"
     )
     wrapper = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(wrapper)
+    return wrapper
 
+
+def test_run_all_wrapper_reports_failures_with_exit_code(tmp_path, monkeypatch, tiny, capsys):
+    wrapper = _load_wrapper()
     monkeypatch.setitem(EXPERIMENTS, "boom", _raising_experiment)
     monkeypatch.chdir(tmp_path)  # manifest + cache land in the tmp dir
+    # A stale report from an earlier run must not survive the failure.
+    (tmp_path / "out").mkdir()
+    (tmp_path / "out" / "boom.txt").write_text("stale report\n")
     monkeypatch.setattr(
         sys,
         "argv",
@@ -260,6 +267,22 @@ def test_run_all_wrapper_reports_failures_with_exit_code(tmp_path, monkeypatch, 
     assert (tmp_path / "out" / "tiny.txt").exists()
     assert not (tmp_path / "out" / "boom.txt").exists()
     assert (tmp_path / "BENCH_experiments.json").exists()
+
+
+def test_run_all_wrapper_fast_is_uniform(tmp_path, monkeypatch, tiny, capsys):
+    """--fast applies to every experiment — the wrapper produces the same
+    bytes as ``repro run all --fast``, so either front-end can regenerate
+    the ``results/fast`` goldens CI diffs against."""
+    wrapper = _load_wrapper()
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setattr(
+        sys,
+        "argv",
+        ["run_all_experiments.py", "table1", tiny, "--fast", "--out", "out"],
+    )
+    assert wrapper.main() == 0
+    for report in ("table1.txt", "tiny.txt"):
+        assert "fast=True]" in (tmp_path / "out" / report).read_text()
 
 
 def test_cli_run_with_jobs_out_and_bench(tmp_path, monkeypatch, capsys):

@@ -13,6 +13,7 @@ HEADER_MARK = "<!-- RESULTS -->"
 ORDER = [
     "table1", "table2", "table3", "table4", "fig3", "fig5", "fig6", "fig7",
     "table5", "fig9", "fig10", "fig11", "fig12", "fig13", "table6", "table7",
+    "faults_pingpong", "faults_cg",
 ]
 
 PAPER_SUMMARY = {
@@ -32,6 +33,14 @@ PAPER_SUMMARY = {
     "fig13": "16 grid nodes vs 4 cluster nodes: everything gains; LU/BT near 4x (§4.3).",
     "table6": "ray2mesh rays track CPU speed; Sophia computes the most (§4.4).",
     "table7": "ray2mesh times are insensitive to master placement (§4.4).",
+    "faults_pingpong": (
+        "Beyond the paper: goodput of the tuned grid pingpong under seeded "
+        "WAN packet loss (0-10%), per implementation."
+    ),
+    "faults_cg": (
+        "Beyond the paper: NPB CG (8+8 grid) wall time under seeded WAN "
+        "latency jitter (0-50% of the base RTT)."
+    ),
 }
 
 

@@ -36,10 +36,25 @@ class PingPongPoint:
     nbytes: int
     min_rtt: float
     max_bandwidth_mbps: float  # size / (min_rtt / 2), in Mbit/s
+    #: mean round trip over the repeats; 0.0 when unknown (points rebuilt
+    #: from shard payloads that only carry the paper's min/max metrics)
+    mean_rtt: float = 0.0
 
     @property
     def one_way_latency(self) -> float:
         return self.min_rtt / 2.0
+
+    @property
+    def mean_bandwidth_mbps(self) -> float:
+        """Mean goodput, ``size / (mean_rtt / 2)``.
+
+        The paper's bandwidth figures use the *best* round trip to filter
+        out perturbations; the fault-injection sweeps use the mean, since
+        the perturbation is exactly what they measure.
+        """
+        if self.mean_rtt <= 0.0:
+            return 0.0
+        return self.nbytes * 8.0 / (self.mean_rtt / 2.0) / 1e6
 
 
 @dataclass
@@ -77,8 +92,9 @@ def _curve_from_rtts(label: str, rtts: dict[int, list[float]]) -> PingPongCurve:
     points = []
     for nbytes, samples in sorted(rtts.items()):
         min_rtt = min(samples)
+        mean_rtt = sum(samples) / len(samples)
         bw = nbytes * 8.0 / (min_rtt / 2.0) / 1e6
-        points.append(PingPongPoint(nbytes, min_rtt, bw))
+        points.append(PingPongPoint(nbytes, min_rtt, bw, mean_rtt))
     return PingPongCurve(label, points)
 
 

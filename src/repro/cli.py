@@ -8,6 +8,8 @@ Examples::
     repro run all --fast
     repro run all --fast --jobs 8   # parallel orchestrator + result cache
     repro run all --no-cache --out results
+    repro run fig6 --faults lossy-wan   # replay under a WAN fault scenario
+    repro faults list               # the named fault scenarios
     repro lint                      # lint src/repro for determinism hazards
     repro lint --rules              # print the rule catalog
     repro sanitize fig3             # double-run trace-hash determinism check
@@ -19,6 +21,25 @@ import argparse
 import sys
 
 from repro._version import __version__
+
+
+def _jobs_count(value: str) -> int:
+    """``--jobs`` values: a strictly positive worker count.
+
+    Rejecting 0/negative up front beats silently clamping: a caller asking
+    for ``--jobs 0`` expected *something* ("auto"?), and quietly running
+    serial would mask the misunderstanding.
+    """
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}") from None
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 1, got {jobs} "
+            "(use --jobs 1 for a serial in-process run)"
+        )
+    return jobs
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,10 +71,18 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--jobs",
         "-j",
-        type=int,
+        type=_jobs_count,
         default=1,
         metavar="N",
-        help="worker processes; >1 shards sweep experiments across a pool",
+        help="worker processes (>= 1); 1 (the default) runs serially "
+        "in-process, N > 1 shards sweep experiments across a pool",
+    )
+    run.add_argument(
+        "--faults",
+        metavar="SCENARIO",
+        default=None,
+        help="run under a named WAN fault scenario (see 'repro faults list'); "
+        "faulted results are cached separately from the clean ones",
     )
     run.add_argument(
         "--no-cache",
@@ -72,6 +101,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="timing manifest location (default BENCH_experiments.json for "
         "multi-experiment campaigns)",
     )
+
+    faults = sub.add_parser(
+        "faults", help="inspect the WAN fault-injection scenarios"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    faults_sub.add_parser("list", help="list the named scenarios")
 
     lint = sub.add_parser(
         "lint", help="static determinism/unit-safety analysis of the source tree"
@@ -139,12 +174,24 @@ def _cmd_sanitize(args) -> int:
     return 0 if report.deterministic else 1
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import SCENARIOS
+
+    width = max(len(name) for name in SCENARIOS)
+    for name, scenario in SCENARIOS.items():
+        print(f"{name:<{width}}  {scenario.description}")
+        print(f"{'':<{width}}  [{scenario.describe()}]")
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "sanitize":
         return _cmd_sanitize(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
 
     from repro.experiments import EXPERIMENTS, get_experiment
 
@@ -153,19 +200,41 @@ def main(argv=None) -> int:
             print(experiment_id)
         return 0
 
-    from repro.runner import ExperimentSpec, record_campaign, run_campaign
+    from repro import faults
+    from repro.runner import (
+        ExperimentSpec,
+        ResultCache,
+        record_campaign,
+        run_campaign,
+        source_digest,
+    )
 
     fast = not args.full
     ids = sorted(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
     for experiment_id in ids:
         get_experiment(experiment_id)  # unknown ids raise before any work runs
+    # Unknown scenario names also raise (FaultConfigError) before any work.
+    scenario = faults.get_scenario(args.faults) if args.faults else None
 
-    campaign = run_campaign(
-        [ExperimentSpec(experiment_id, fast=fast) for experiment_id in ids],
-        jobs=max(1, args.jobs),
-        use_cache=not args.no_cache,
-        out_dir=args.out,
-    )
+    cache = None
+    if scenario is not None and scenario.active:
+        # Faulted runs must never poison (or replay) the clean cache: the
+        # scenario name joins the cache key.  ``--faults none`` deliberately
+        # keeps the clean digest — it *is* the clean configuration.
+        cache = ResultCache(
+            digest=f"{source_digest()}|faults={scenario.name}",
+            enabled=not args.no_cache,
+        )
+        print(f"[faults: {scenario.name} — {scenario.describe()}]", file=sys.stderr)
+
+    with faults.activated(scenario):
+        campaign = run_campaign(
+            [ExperimentSpec(experiment_id, fast=fast) for experiment_id in ids],
+            jobs=args.jobs,
+            cache=cache,
+            use_cache=not args.no_cache,
+            out_dir=args.out,
+        )
     for run in campaign.runs:
         if not run.ok:
             continue

@@ -46,3 +46,8 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was misconfigured or referenced an unknown id."""
+
+
+class FaultConfigError(ReproError):
+    """An invalid fault-injection profile/scenario, or an unknown scenario
+    name."""

@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from types import ModuleType
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import ExperimentError
 from repro.experiments import (
+    faults,
     fig3,
     fig5,
     fig6,
@@ -27,9 +27,10 @@ from repro.experiments import (
 )
 from repro.experiments.base import ExperimentResult, ShardSpec
 
-#: id -> defining module; the module's ``run`` is the experiment, and its
+#: id -> defining module (or module-like namespace: ``experiments.faults``
+#: hosts two experiments); the entry's ``run`` is the experiment, and its
 #: optional ``shards``/``merge`` hooks are the sharding protocol
-MODULES: dict[str, ModuleType] = {
+MODULES: dict[str, Any] = {
     "table1": table1,
     "table2": table2,
     "table3": table3,
@@ -46,6 +47,8 @@ MODULES: dict[str, ModuleType] = {
     "fig11": fig11,
     "fig12": fig12,
     "fig13": fig13,
+    "faults_pingpong": faults.faults_pingpong,
+    "faults_cg": faults.faults_cg,
 }
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {

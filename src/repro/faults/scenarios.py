@@ -1,0 +1,257 @@
+"""Named WAN fault scenarios: connection faults + network-level pathologies.
+
+A :class:`FaultScenario` bundles
+
+* a :class:`repro.faults.profile.FaultProfile` substituted into every TCP
+  connection the :class:`repro.tcp.connection.Fabric` creates (unless the
+  connection already carries an explicit profile), and
+* *network-level* faults installed into the simulation when a fabric is
+  built: background cross-traffic bursts competing for the site WAN access
+  pipes, and transient link flaps that temporarily collapse a pipe's
+  capacity.
+
+Everything is driven by named streams of one ``RngRegistry(seed)``, so a
+scenario is exactly as reproducible as the clean simulation: the same
+scenario + seed yields byte-identical experiment reports, serial or
+parallel.  The ``none`` scenario installs nothing and leaves every byte of
+the committed goldens unchanged.
+
+Background processes are bounded by ``horizon_s`` of *virtual* time so a
+drained event queue still terminates (``Environment.run()`` with no
+``until`` would otherwise spin forever on an eternal traffic generator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import FaultConfigError
+from repro.faults.profile import FaultProfile
+from repro.sim.rng import RngRegistry
+from repro.units import Mbps
+
+if TYPE_CHECKING:  # imported lazily to keep this module import-light
+    from repro.net.fluid import FluidNetwork, Pipe
+    from repro.net.topology import Network
+    from repro.sim.core import Environment
+
+
+@dataclass(frozen=True)
+class CrossTraffic:
+    """Bursty background flows sharing the WAN access pipes.
+
+    Each pipe gets an on/off source: a burst of ``rate_bps`` lasting about
+    ``burst_s`` (uniformly 0.5x-1.5x), then a silence of about ``gap_s``.
+    """
+
+    rate_bps: float
+    burst_s: float = 0.5
+    gap_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise FaultConfigError("cross-traffic rate must be positive")
+        if self.burst_s <= 0 or self.gap_s <= 0:
+            raise FaultConfigError("cross-traffic burst/gap must be positive")
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Transient capacity collapses of the WAN access pipes.
+
+    About every ``period_s`` (uniformly 0.5x-1.5x) a pipe drops to
+    ``capacity_factor`` of its nominal capacity for ``duration_s``.
+    """
+
+    period_s: float
+    duration_s: float
+    capacity_factor: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0 or self.duration_s <= 0:
+            raise FaultConfigError("flap period/duration must be positive")
+        if not 0.0 < self.capacity_factor < 1.0:
+            raise FaultConfigError("flap capacity_factor must be in (0, 1)")
+
+
+def _cross_traffic_source(
+    env: "Environment",
+    fluid: "FluidNetwork",
+    pipe: "Pipe",
+    spec: CrossTraffic,
+    rng,
+    horizon_s: float,
+):
+    """Generator process: on/off background bursts on one pipe."""
+    while env.now < horizon_s:
+        burst_s = spec.burst_s * (0.5 + float(rng.random()))
+        nbytes = spec.rate_bps * burst_s / 8.0
+        flow = fluid.start_flow(
+            f"faults.xtraffic.{pipe.name}",
+            (pipe,),
+            nbytes,
+            rate_cap_bps=spec.rate_bps,
+        )
+        yield flow.done
+        yield env.timeout(spec.gap_s * (0.5 + float(rng.random())))
+
+
+def _link_flapper(
+    env: "Environment",
+    fluid: "FluidNetwork",
+    pipe: "Pipe",
+    spec: LinkFlap,
+    rng,
+    horizon_s: float,
+):
+    """Generator process: periodic transient capacity drops on one pipe."""
+    nominal = pipe.capacity_bps
+    while True:
+        wait = spec.period_s * (0.5 + float(rng.random()))
+        if env.now + wait >= horizon_s:
+            return
+        yield env.timeout(wait)
+        fluid.set_pipe_capacity(pipe, nominal * spec.capacity_factor)
+        yield env.timeout(spec.duration_s)
+        fluid.set_pipe_capacity(pipe, nominal)
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, seeded WAN degradation."""
+
+    name: str
+    description: str
+    seed: int = 0
+    #: substituted into TCP connections without an explicit profile
+    profile: Optional[FaultProfile] = None
+    cross_traffic: Optional[CrossTraffic] = None
+    link_flaps: Optional[LinkFlap] = None
+    #: virtual-time horizon of the background fault processes
+    horizon_s: float = 120.0
+
+    @property
+    def active(self) -> bool:
+        return (
+            (self.profile is not None and self.profile.active)
+            or self.cross_traffic is not None
+            or self.link_flaps is not None
+        )
+
+    def install(
+        self,
+        env: "Environment",
+        network: "Network",
+        fluid: "FluidNetwork",
+    ) -> None:
+        """Start this scenario's network-level fault processes.
+
+        Called once per fabric (i.e. once per simulation); connection-level
+        effects ride on :attr:`profile` instead and need no installation.
+        """
+        if self.cross_traffic is None and self.link_flaps is None:
+            return
+        rngs = RngRegistry(self.seed)
+        for pipe in network.wan_pipes():
+            if self.cross_traffic is not None:
+                env.process(
+                    _cross_traffic_source(
+                        env,
+                        fluid,
+                        pipe,
+                        self.cross_traffic,
+                        rngs.stream(f"faults.xtraffic.{pipe.name}"),
+                        self.horizon_s,
+                    ),
+                    name=f"faults.xtraffic.{pipe.name}",
+                )
+            if self.link_flaps is not None:
+                env.process(
+                    _link_flapper(
+                        env,
+                        fluid,
+                        pipe,
+                        self.link_flaps,
+                        rngs.stream(f"faults.flap.{pipe.name}"),
+                        self.horizon_s,
+                    ),
+                    name=f"faults.flap.{pipe.name}",
+                )
+
+    def describe(self) -> str:
+        parts = []
+        if self.profile is not None and self.profile.active:
+            parts.append(self.profile.describe())
+        if self.cross_traffic is not None:
+            parts.append(
+                f"cross-traffic {self.cross_traffic.rate_bps / 1e6:.0f} Mbps bursts"
+            )
+        if self.link_flaps is not None:
+            parts.append(
+                f"flaps to {self.link_flaps.capacity_factor:.0%} every "
+                f"~{self.link_flaps.period_s:g}s"
+            )
+        return "; ".join(parts) or "no faults (clean dedicated path)"
+
+
+#: fixed scenario seed: nothing magic, just stable across releases
+_SCENARIO_SEED = 20071126
+
+SCENARIOS: dict[str, FaultScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        FaultScenario(
+            name="none",
+            description="clean dedicated 1 Gbps path (the paper's testbed)",
+        ),
+        FaultScenario(
+            name="lossy-wan",
+            description="2% injected loss per WAN window round",
+            seed=_SCENARIO_SEED,
+            profile=FaultProfile(seed=_SCENARIO_SEED, loss_prob=0.02),
+        ),
+        FaultScenario(
+            name="jittery-wan",
+            description="up to +25% one-way delay jitter on the WAN",
+            seed=_SCENARIO_SEED,
+            profile=FaultProfile(seed=_SCENARIO_SEED, jitter_frac=0.25),
+        ),
+        FaultScenario(
+            name="slow-wan",
+            description="WAN RTT inflated 2x (rerouted/overloaded backbone)",
+            seed=_SCENARIO_SEED,
+            profile=FaultProfile(seed=_SCENARIO_SEED, rtt_inflation=2.0),
+        ),
+        FaultScenario(
+            name="cross-traffic",
+            description="400 Mbps background bursts on every site access link",
+            seed=_SCENARIO_SEED,
+            cross_traffic=CrossTraffic(rate_bps=Mbps(400)),
+        ),
+        FaultScenario(
+            name="flaky-link",
+            description="access links flap to 10% capacity for 0.5s every ~2s",
+            seed=_SCENARIO_SEED,
+            link_flaps=LinkFlap(period_s=2.0, duration_s=0.5, capacity_factor=0.1),
+        ),
+        FaultScenario(
+            name="degraded-grid",
+            description="combined mild loss + jitter + cross-traffic",
+            seed=_SCENARIO_SEED,
+            profile=FaultProfile(
+                seed=_SCENARIO_SEED, loss_prob=0.01, jitter_frac=0.1
+            ),
+            cross_traffic=CrossTraffic(rate_bps=Mbps(200)),
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> FaultScenario:
+    try:
+        return SCENARIOS[name.lower()]
+    except KeyError:
+        raise FaultConfigError(
+            f"unknown fault scenario {name!r}; have {sorted(SCENARIOS)}"
+        ) from None

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Mapping, Optional
 
 from repro.errors import MpiError
+from repro.faults.profile import FaultProfile
 from repro.tcp.buffers import BufferPolicy
 from repro.tcp.connection import TcpOptions
 from repro.units import usec
@@ -75,6 +76,9 @@ class MpiImplementation:
     #: high-speed fabrics driven natively for intra-cluster traffic
     #: (Table 1's heterogeneity column; empty = TCP everywhere)
     native_fabrics: frozenset = frozenset()
+    #: deterministic WAN degradation applied to every connection this
+    #: implementation opens (None = the paper's clean dedicated path)
+    fault_profile: Optional[FaultProfile] = None
 
     def __post_init__(self):
         if self.eager_threshold < 0:
@@ -94,6 +98,7 @@ class MpiImplementation:
             paced=self.paced,
             ss_cap_divisor=self.ss_cap_divisor,
             probe_loss_rounds=self.probe_loss_rounds,
+            fault_profile=self.fault_profile,
         )
 
     # --- tuning (the paper's §4.2 recipes) ----------------------------------------------
@@ -111,6 +116,13 @@ class MpiImplementation:
         if self.buffer_policy.mode != "fixed":
             return self
         return replace(self, buffer_policy=BufferPolicy.fixed(nbytes, nbytes))
+
+    def with_fault_profile(
+        self, profile: Optional[FaultProfile]
+    ) -> "MpiImplementation":
+        """Degrade (or clean, with ``None``) every connection this
+        implementation opens — the fault-injection experiment hook."""
+        return replace(self, fault_profile=profile)
 
     def with_collective(self, operation: str, algorithm: str) -> "MpiImplementation":
         """Override one collective algorithm (ablation experiments)."""

@@ -160,6 +160,18 @@ class FluidNetwork:
             return
         self._recompute()
 
+    def set_pipe_capacity(self, pipe: Pipe, capacity_bps: "Rate | float") -> None:
+        """Change a pipe's capacity mid-simulation (fault injection: link
+        flaps / degradation) and re-allocate every affected flow."""
+        if capacity_bps <= 0:
+            raise NetworkConfigError(
+                f"pipe {pipe.name!r}: capacity must be positive"
+            )
+        if abs(float(capacity_bps) - pipe.capacity_bps) < _EPS:
+            return
+        pipe.capacity_bps = float(capacity_bps)
+        self._recompute()
+
     def abort_flow(self, flow: Flow, exc: BaseException) -> None:
         """Fail a flow's completion event and release its capacity."""
         if flow not in self.flows:

@@ -3,8 +3,8 @@
 ``repro run --jobs N`` and ``scripts/run_all_experiments.py`` are thin
 front-ends over :func:`repro.runner.pool.run_campaign`:
 
-* :mod:`repro.runner.pool` — process-pool orchestration, shard dedup,
-  failure surfacing;
+* :mod:`repro.runner.pool` — process-per-task orchestration, shard dedup,
+  wall-clock timeouts, bounded retries, failure surfacing;
 * :mod:`repro.runner.cache` — ``.repro-cache/`` keyed by (task id, fast
   flag, source digest of ``src/repro``);
 * :mod:`repro.runner.manifest` — the ``BENCH_experiments.json`` timing
@@ -13,13 +13,20 @@ front-ends over :func:`repro.runner.pool.run_campaign`:
 
 from repro.runner.cache import ResultCache, source_digest
 from repro.runner.manifest import record_campaign
-from repro.runner.pool import CampaignResult, ExperimentRun, ExperimentSpec, run_campaign
+from repro.runner.pool import (
+    CampaignResult,
+    ExperimentRun,
+    ExperimentSpec,
+    RunnerPolicy,
+    run_campaign,
+)
 
 __all__ = [
     "CampaignResult",
     "ExperimentRun",
     "ExperimentSpec",
     "ResultCache",
+    "RunnerPolicy",
     "record_campaign",
     "run_campaign",
     "source_digest",

@@ -16,9 +16,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Any, Optional
+
+logger = logging.getLogger("repro.runner.cache")
 
 #: default cache root, relative to the invocation directory
 DEFAULT_CACHE_ROOT = Path(".repro-cache")
@@ -65,18 +68,42 @@ class ResultCache:
         return self.root / f"{safe}-{self.key(task_id, fast)}.json"
 
     def load(self, task_id: str, fast: bool) -> Optional[dict]:
-        """The cached artifact, or ``None`` on miss/corruption."""
+        """The cached artifact, or ``None`` on miss/corruption.
+
+        A corrupted entry (truncated write, malformed JSON, wrong document
+        shape) is a *miss*: the bad file is evicted so it cannot shadow the
+        recomputed artifact, and a warning is logged.
+        """
         if not self.enabled:
             return None
         path = self.path(task_id, fast)
+        if not path.exists():
+            return None
         try:
             with path.open("r", encoding="utf-8") as fh:
                 document = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
+            return None  # unreadable, not necessarily corrupt: leave it
+        except ValueError:
+            self._evict_corrupt(path, task_id, "malformed JSON")
+            return None
+        if not isinstance(document, dict) or not isinstance(
+            document.get("artifact"), dict
+        ):
+            self._evict_corrupt(path, task_id, "unexpected document shape")
             return None
         if document.get("task_id") != task_id:  # hash collision paranoia
             return None
-        return document.get("artifact")
+        return document["artifact"]
+
+    def _evict_corrupt(self, path: Path, task_id: str, reason: str) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass  # already gone, or unremovable: the miss still stands
+        logger.warning(
+            "evicted corrupt cache entry for %r at %s (%s)", task_id, path, reason
+        )
 
     def store(self, task_id: str, fast: bool, artifact: dict[str, Any]) -> Optional[Path]:
         """Write the artifact; returns its path (``None`` when disabled)."""

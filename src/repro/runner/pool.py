@@ -1,19 +1,20 @@
-"""Process-pool experiment orchestrator.
+"""Hardened process-per-task experiment orchestrator.
 
 Execution model
 ---------------
 A campaign is a list of :class:`ExperimentSpec`.  Each experiment is first
 looked up in the result cache; misses are executed either in-process
 (``jobs <= 1``, identical to the historical serial loop) or on a
-``ProcessPoolExecutor``.
+process-per-task engine governed by a :class:`RunnerPolicy`.
 
-On the pool path, experiments that expose shard hooks (see
-:mod:`repro.experiments.base`) are decomposed: their shards are submitted
-as individual tasks, deduplicated campaign-wide by ``task_id`` (table6 and
+On the parallel path, experiments that expose shard hooks (see
+:mod:`repro.experiments.base`) are decomposed: their shards run as
+individual tasks, deduplicated campaign-wide by ``task_id`` (table6 and
 table7 share the four ray2mesh runs; figs 10/12/13 share the grid16 NPB
-points), and merged back in the parent.  Shard payloads are individually
-cached, so even a partially failed campaign never recomputes completed
-work.
+points), and merged back in the parent.  Shard payloads are cached by the
+*worker* that computed them — the parent passes its cache root and source
+digest down (the digest is computed exactly once per campaign) — so a
+completed shard survives even a parent crash and is never recomputed.
 
 Every unit of work runs under :func:`repro.sim.core.trace_capture`, the
 same hook the determinism sanitizer uses, so each artifact carries an
@@ -22,12 +23,22 @@ of its shard hashes (:meth:`EventTraceHasher.combine`) — a different value
 from an unsharded run's hash, which is why artifacts record the trace
 *mode* alongside the digest.
 
-Failure surfacing
------------------
-A raising experiment or shard marks that experiment failed and the
-campaign continues; a worker that dies outright (``BrokenProcessPool``)
-fails every experiment still in flight instead of hanging.  The campaign
-result always reports what completed, what was cached, and what failed.
+Robustness
+----------
+Each task owns a dedicated worker process and a result pipe, which is what
+makes real fault handling possible (a shared ``ProcessPoolExecutor``
+cannot kill a hung task without poisoning the whole pool):
+
+* **timeouts** — a task that exceeds ``RunnerPolicy.timeout_s`` of wall
+  clock is terminated (SIGTERM) and counted;
+* **retries** — crashed (died without reporting) and timed-out tasks are
+  resubmitted up to ``retries`` times with exponential backoff; a *clean*
+  worker exception is deterministic and never retried;
+* **graceful degradation** — a task that exhausts its attempts fails only
+  the experiments depending on it; everything else completes, partial
+  results merge, and the campaign reports what happened through the
+  ``retries``/``timeouts`` counters (surfaced in
+  ``BENCH_experiments.json``).
 """
 
 from __future__ import annotations
@@ -35,11 +46,11 @@ from __future__ import annotations
 import importlib
 import multiprocessing
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Optional
 
+from repro.errors import ReproError
 from repro.mpi.tracing import EventTraceHasher
 from repro.runner.cache import ResultCache
 from repro.sim.core import trace_capture
@@ -47,6 +58,35 @@ from repro.sim.core import trace_capture
 #: fork keeps workers cheap and lets tests inject registry entries; fall
 #: back to the platform default where fork does not exist (Windows).
 _START_METHOD = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+
+#: parent poll interval while supervising workers (host-side seconds)
+_POLL_INTERVAL_S = 0.02
+
+
+@dataclass(frozen=True)
+class RunnerPolicy:
+    """Fault-handling knobs of the parallel engine.
+
+    ``timeout_s`` is wall-clock per *task* (one shard or one unsharded
+    experiment), not per campaign; ``None`` disables timeouts.  Crashed
+    and timed-out tasks are retried up to ``retries`` times, sleeping
+    ``backoff_s * 2**attempt`` between attempts.
+    """
+
+    timeout_s: Optional[float] = None
+    retries: int = 1
+    backoff_s: float = 0.5
+
+    def __post_init__(self):
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ReproError("timeout_s must be positive (or None to disable)")
+        if self.retries < 0:
+            raise ReproError("retries must be >= 0")
+        if self.backoff_s < 0:
+            raise ReproError("backoff_s must be >= 0")
+
+
+DEFAULT_POLICY = RunnerPolicy()
 
 
 @dataclass(frozen=True)
@@ -129,6 +169,10 @@ class CampaignResult:
     wall_s: float
     jobs: int
     cache_enabled: bool
+    #: crashed/timed-out task re-submissions performed by the engine
+    retries: int = 0
+    #: tasks terminated for exceeding the policy's wall-clock timeout
+    timeouts: int = 0
 
     @property
     def failures(self) -> list[ExperimentRun]:
@@ -150,6 +194,10 @@ class CampaignResult:
             f"jobs={self.jobs}",
             f"{self.wall_s:.1f}s wall",
         ]
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeouts")
         if self.failures:
             failed = ", ".join(run.experiment_id for run in self.failures)
             parts.append(f"FAILED: {failed}")
@@ -162,19 +210,37 @@ def _resolve(dotted: str) -> Callable[..., Any]:
     return getattr(importlib.import_module(module_name), func_name)
 
 
-def _shard_worker(runner: str, params: dict, fast: bool) -> dict:
-    """Execute one shard under trace capture; returns its artifact."""
+def _shard_worker(
+    runner: str,
+    params: dict,
+    fast: bool,
+    task_id: str = "",
+    cache_root: str = "",
+    cache_digest: str = "",
+    cache_enabled: bool = False,
+) -> dict:
+    """Execute one shard under trace capture; returns its artifact.
+
+    When the parent hands down its cache coordinates, the artifact is
+    stored *here*, in the worker — the parent passes its already-computed
+    source digest (computed once per campaign), and a completed shard
+    survives even if the parent dies before collecting it.
+    """
     started = time.monotonic()  # host-side timing, not sim state  # lint: disable=DET002
     with trace_capture() as hasher:
         payload = _resolve(runner)(fast=fast, **params)
     elapsed = time.monotonic() - started  # lint: disable=DET002
-    return {
+    artifact = {
         "kind": "shard",
         "payload": payload,
         "wall_s": round(elapsed, 3),
         "trace_hash": hasher.hexdigest(),
         "trace_events": hasher.events,
     }
+    if cache_enabled and task_id and cache_root:
+        cache = ResultCache(root=cache_root, digest=cache_digest, enabled=True)
+        cache.store(task_id, fast, artifact)
+    return artifact
 
 
 def _experiment_worker(experiment_id: str, fast: bool) -> dict:
@@ -199,8 +265,165 @@ def _experiment_worker(experiment_id: str, fast: bool) -> dict:
     }
 
 
+def _task_main(conn, target: Callable[..., Any], args: tuple) -> None:
+    """Worker process entry point: run ``target`` and report on the pipe.
+
+    A clean exception is reported as ``("error", message)`` — it is
+    deterministic, so the parent fails the task without retrying.  A
+    worker that dies before sending anything (segfault, ``os._exit``,
+    SIGKILL) is detected by the parent through its exit code instead.
+    """
+    try:
+        result = target(*args)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - marshalled to the parent
+        try:
+            conn.send(("error", _describe_error(exc)))
+        except Exception:  # noqa: BLE001 - parent sees a crash instead
+            pass
+    finally:
+        conn.close()
+
+
 def _describe_error(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
+
+
+# --- the process-per-task engine --------------------------------------------------
+@dataclass
+class _Task:
+    """One unit of work for the engine (a shard or a whole experiment)."""
+
+    key: tuple
+    target: Callable[..., Any]
+    args: tuple
+    label: str
+    attempts: int = 0
+
+
+class _Running:
+    """Book-keeping for one live worker process."""
+
+    __slots__ = ("task", "process", "conn", "deadline")
+
+    def __init__(self, task: _Task, process, conn, deadline: Optional[float]):
+        self.task = task
+        self.process = process
+        self.conn = conn
+        self.deadline = deadline
+
+
+def _run_tasks(
+    tasks: list[_Task],
+    jobs: int,
+    policy: RunnerPolicy,
+    context,
+) -> tuple[dict[tuple, tuple[str, Any]], int, int]:
+    """Supervise ``tasks`` on up to ``jobs`` worker processes.
+
+    Returns ``(outcomes, retries, timeouts)`` where each outcome is
+    ``("ok", payload)`` or ``("error", message)``.  Never raises for a
+    misbehaving task; the engine always drains.
+    """
+    ready: list[_Task] = list(tasks)
+    delayed: list[tuple[float, _Task]] = []  # (not-before, task) backoff queue
+    running: list[_Running] = []
+    outcomes: dict[tuple, tuple[str, Any]] = {}
+    n_retries = 0
+    n_timeouts = 0
+
+    def launch(task: _Task) -> None:
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_task_main,
+            args=(child_conn, task.target, task.args),
+            name=f"repro-worker:{task.label}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the parent only reads
+        deadline = (
+            time.monotonic() + policy.timeout_s  # lint: disable=DET002
+            if policy.timeout_s is not None
+            else None
+        )
+        running.append(_Running(task, process, parent_conn, deadline))
+
+    def retire(entry: _Running) -> None:
+        entry.conn.close()
+        entry.process.join(timeout=5.0)
+        if entry.process.is_alive():  # ignored SIGTERM: escalate
+            entry.process.kill()
+            entry.process.join()
+        running.remove(entry)
+
+    def requeue_or_fail(task: _Task, reason: str) -> None:
+        nonlocal n_retries
+        task.attempts += 1
+        if task.attempts <= policy.retries:
+            n_retries += 1
+            delay = policy.backoff_s * (2 ** (task.attempts - 1))
+            not_before = time.monotonic() + delay  # lint: disable=DET002
+            delayed.append((not_before, task))
+        else:
+            outcomes[task.key] = (
+                "error",
+                f"{reason} (gave up after {task.attempts} attempt"
+                f"{'s' if task.attempts != 1 else ''})",
+            )
+
+    while ready or delayed or running:
+        now = time.monotonic()  # lint: disable=DET002
+
+        still_delayed: list[tuple[float, _Task]] = []
+        for not_before, task in delayed:
+            if not_before <= now:
+                ready.append(task)
+            else:
+                still_delayed.append((not_before, task))
+        delayed = still_delayed
+
+        while ready and len(running) < jobs:
+            launch(ready.pop(0))
+
+        progressed = False
+        for entry in list(running):
+            task, process = entry.task, entry.process
+            # Read the exit code *before* polling the pipe: a worker's
+            # send happens-before its exit, so "exited and still no
+            # message" is a definite crash, never a lost result.
+            exited = process.exitcode is not None
+            message: Optional[tuple[str, Any]] = None
+            if entry.conn.poll():
+                try:
+                    message = entry.conn.recv()
+                except (EOFError, OSError):
+                    message = None  # died mid-send: handled as a crash below
+            if message is not None:
+                outcomes[task.key] = message
+                retire(entry)
+                progressed = True
+                continue
+            if exited:
+                # Exited without reporting: a hard crash (segfault,
+                # os._exit, OOM kill).  Retry with backoff.
+                retire(entry)
+                requeue_or_fail(
+                    task, f"worker crashed (exit code {process.exitcode})"
+                )
+                progressed = True
+                continue
+            if entry.deadline is not None and now >= entry.deadline:
+                process.terminate()
+                retire(entry)
+                n_timeouts += 1
+                requeue_or_fail(
+                    task, f"timed out after {policy.timeout_s:g}s wall clock"
+                )
+                progressed = True
+        if not progressed and (running or delayed):
+            time.sleep(_POLL_INTERVAL_S)
+    return outcomes, n_retries, n_timeouts
 
 
 # --- orchestration ---------------------------------------------------------------
@@ -264,70 +487,89 @@ def _run_parallel(
     misses: list[ExperimentSpec],
     cache: ResultCache,
     jobs: int,
+    policy: RunnerPolicy,
     progress: Optional[Callable[[str], None]],
-) -> dict[tuple[str, bool], ExperimentRun]:
+) -> tuple[dict[tuple[str, bool], ExperimentRun], int, int]:
     from repro.experiments.registry import ShardPlan, get_shard_plan
 
-    context = (
-        multiprocessing.get_context(_START_METHOD) if _START_METHOD else None
-    )
+    context = multiprocessing.get_context(_START_METHOD)
     runs: dict[tuple[str, bool], ExperimentRun] = {}
     plans: dict[tuple[str, bool], ShardPlan] = {}
-    experiment_futures: dict[tuple[str, bool], Future] = {}
+    tasks: list[_Task] = []
+    submitted: set[tuple] = set()
     #: (shard task_id, fast) -> completed shard artifact
     shard_results: dict[tuple[str, bool], dict] = {}
-    shard_futures: dict[tuple[str, bool], Future] = {}
 
-    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
-        for spec in misses:
-            try:
-                plan = get_shard_plan(spec.experiment_id, spec.fast)
-            except Exception as exc:  # noqa: BLE001
-                runs[spec.key] = _failed_run(spec, _describe_error(exc))
-                continue
-            if plan is None:
-                experiment_futures[spec.key] = pool.submit(
-                    _experiment_worker, spec.experiment_id, spec.fast
+    for spec in misses:
+        try:
+            plan = get_shard_plan(spec.experiment_id, spec.fast)
+        except Exception as exc:  # noqa: BLE001
+            runs[spec.key] = _failed_run(spec, _describe_error(exc))
+            continue
+        if plan is None:
+            tasks.append(
+                _Task(
+                    key=("experiment", spec.experiment_id, spec.fast),
+                    target=_experiment_worker,
+                    args=(spec.experiment_id, spec.fast),
+                    label=spec.experiment_id,
                 )
+            )
+            continue
+        plans[spec.key] = plan
+        for shard in plan.shards:
+            shard_key = (shard.task_id, spec.fast)
+            if shard_key in shard_results or shard_key in submitted:
+                continue  # deduplicated across experiments
+            cached = cache.load(shard.task_id, spec.fast)
+            if cached is not None:
+                shard_results[shard_key] = cached
                 continue
-            plans[spec.key] = plan
-            for shard in plan.shards:
-                shard_key = (shard.task_id, spec.fast)
-                if shard_key in shard_results or shard_key in shard_futures:
-                    continue  # deduplicated across experiments
-                cached = cache.load(shard.task_id, spec.fast)
-                if cached is not None:
-                    shard_results[shard_key] = cached
-                else:
-                    shard_futures[shard_key] = pool.submit(
-                        _shard_worker, shard.runner, shard.params, spec.fast
-                    )
+            submitted.add(shard_key)
+            tasks.append(
+                _Task(
+                    key=("shard", shard.task_id, spec.fast),
+                    target=_shard_worker,
+                    # The worker stores its own artifact: the parent's
+                    # digest rides along so it is computed exactly once.
+                    args=(
+                        shard.runner,
+                        shard.params,
+                        spec.fast,
+                        shard.task_id,
+                        str(cache.root),
+                        cache.digest,
+                        cache.enabled,
+                    ),
+                    label=shard.task_id,
+                )
+            )
 
-        # Collect shards first (they gate the merges).  A BrokenProcessPool
-        # makes every remaining future raise immediately, so this loop
-        # terminates — no hang — and the affected experiments fail below.
-        for (task_id, fast), future in shard_futures.items():
-            try:
-                artifact = future.result()
-                shard_results[(task_id, fast)] = artifact
-                cache.store(task_id, fast, artifact)
-            except Exception as exc:  # noqa: BLE001
-                shard_results[(task_id, fast)] = {"error": _describe_error(exc)}
+    outcomes, n_retries, n_timeouts = _run_tasks(tasks, jobs, policy, context)
 
-        for spec in misses:
-            if spec.key in runs:
-                continue
-            if spec.key in experiment_futures:
-                try:
-                    payload = experiment_futures[spec.key].result()
-                    run = _run_from_worker_payload(spec, payload)
-                except Exception as exc:  # noqa: BLE001
-                    run = _failed_run(spec, _describe_error(exc))
+    for key, (status, payload) in outcomes.items():
+        if key[0] != "shard":
+            continue
+        shard_key = (key[1], key[2])
+        shard_results[shard_key] = (
+            payload if status == "ok" else {"error": payload}
+        )
+
+    for spec in misses:
+        if spec.key in runs:
+            continue
+        experiment_key = ("experiment", spec.experiment_id, spec.fast)
+        if experiment_key in outcomes:
+            status, payload = outcomes[experiment_key]
+            if status == "ok":
+                run = _run_from_worker_payload(spec, payload)
             else:
-                run = _merge_sharded(spec, plans[spec.key], shard_results)
-            _finish_run(run, cache, progress)
-            runs[spec.key] = run
-    return runs
+                run = _failed_run(spec, payload)
+        else:
+            run = _merge_sharded(spec, plans[spec.key], shard_results)
+        _finish_run(run, cache, progress)
+        runs[spec.key] = run
+    return runs, n_retries, n_timeouts
 
 
 def _merge_sharded(
@@ -380,19 +622,26 @@ def run_campaign(
     use_cache: bool = True,
     out_dir: "Path | str | None" = None,
     progress: Optional[Callable[[str], None]] = None,
+    policy: Optional[RunnerPolicy] = None,
 ) -> CampaignResult:
     """Run a campaign; never raises for individual experiment failures.
 
     ``cache`` may be injected (tests use a tmp root / pinned digest);
     otherwise a default :class:`ResultCache` under ``.repro-cache/`` is
-    built with ``enabled=use_cache``.
+    built with ``enabled=use_cache``.  ``policy`` tunes timeout/retry
+    handling on the parallel path; the serial path (``jobs <= 1``) runs
+    in-process, where a hung experiment cannot be killed.
     """
     started = time.monotonic()  # host-side timing, not sim state  # lint: disable=DET002
     if cache is None:
         cache = ResultCache(enabled=use_cache, digest="" if not use_cache else None)
+    if policy is None:
+        policy = DEFAULT_POLICY
 
     runs: dict[tuple[str, bool], ExperimentRun] = {}
     misses: list[ExperimentSpec] = []
+    n_retries = 0
+    n_timeouts = 0
     for spec in specs:
         if spec.key in runs or spec in misses:
             continue
@@ -409,12 +658,20 @@ def run_campaign(
         if jobs <= 1:
             runs.update(_run_serial(misses, cache, progress))
         else:
-            runs.update(_run_parallel(misses, cache, jobs, progress))
+            parallel_runs, n_retries, n_timeouts = _run_parallel(
+                misses, cache, jobs, policy, progress
+            )
+            runs.update(parallel_runs)
 
     ordered = [runs[spec.key] for spec in specs]
     elapsed = time.monotonic() - started  # lint: disable=DET002
     campaign = CampaignResult(
-        runs=ordered, wall_s=elapsed, jobs=jobs, cache_enabled=cache.enabled
+        runs=ordered,
+        wall_s=elapsed,
+        jobs=jobs,
+        cache_enabled=cache.enabled,
+        retries=n_retries,
+        timeouts=n_timeouts,
     )
     if out_dir is not None:
         write_reports(campaign, Path(out_dir))

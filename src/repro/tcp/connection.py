@@ -45,14 +45,17 @@ latency = 29 µs wire one-way + 12 µs stack, and the grid's 5812 µs =
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro import faults as _faults
 from repro.errors import TcpError
+from repro.faults.profile import FaultProfile
 from repro.net.fluid import FluidNetwork
 from repro.net.topology import Network, Node, Route
 from repro.sim.core import Environment
 from repro.sim.queues import Resource
+from repro.sim.rng import RngRegistry
 from repro.sim.sync import AnyOf
 from repro.tcp.buffers import BufferPolicy, effective_buffers
 from repro.tcp.congestion import CongestionState
@@ -100,6 +103,10 @@ class TcpOptions:
     probe_loss_rounds: int = DEFAULT_PROBE_LOSS_ROUNDS
     #: override the congestion control algorithm (None: host sysctl).
     congestion_control: Optional[str] = None
+    #: deterministic WAN degradation (None = the clean dedicated path);
+    #: when a fault scenario is ambient (``repro.faults.activated``) the
+    #: fabric substitutes the scenario's profile here.
+    fault_profile: Optional[FaultProfile] = None
 
     def __post_init__(self):
         if self.ss_cap_divisor < 1.0:
@@ -116,6 +123,8 @@ class TransferStats:
     payload_bytes: float = 0.0
     window_rounds: int = 0
     losses: int = 0
+    #: subset of ``losses`` that were injected by a fault profile
+    injected_losses: int = 0
     idle_restarts: int = 0
 
 
@@ -151,8 +160,32 @@ class _Direction:
         self._activity = [-math.inf]
         self._probe_rounds = 0
 
+        profile = options.fault_profile
+        if profile is not None and profile.applies_to(route.inter_site):
+            self.faults: Optional[FaultProfile] = profile
+            self._rtt_scale = profile.rtt_inflation
+            # Separate streams for loss and jitter draws: the loss stream
+            # advances per window round, the jitter stream per transmit, so
+            # enabling one effect never perturbs the other's sequence.
+            rngs = RngRegistry(profile.seed)
+            self._loss_rng = (
+                rngs.stream(f"faults.loss.{name}") if profile.loss_prob > 0 else None
+            )
+            self._jitter_rng = (
+                rngs.stream(f"faults.jitter.{name}")
+                if profile.jitter_frac > 0
+                else None
+            )
+        else:
+            self.faults = None
+            self._rtt_scale = 1.0
+            self._loss_rng = None
+            self._jitter_rng = None
+
         queue = WAN_QUEUE_BYTES if route.inter_site else LAN_QUEUE_BYTES
-        bdp = route.bottleneck_bps * route.rtt / 8.0
+        # BDP of the (possibly inflated) path: an RTT-inflating fault grows
+        # the pipe the window has to fill before the queue overflows.
+        bdp = route.bottleneck_bps * self.rtt / 8.0
         #: physical loss threshold: path BDP plus bottleneck queue (bytes).
         self.loss_threshold = bdp + queue
         #: slow-start overshoot point.
@@ -163,7 +196,7 @@ class _Direction:
     # -- helpers ------------------------------------------------------------------
     @property
     def rtt(self) -> float:
-        return self.route.rtt
+        return self.route.rtt * self._rtt_scale
 
     @property
     def rto(self) -> float:
@@ -178,6 +211,19 @@ class _Direction:
     def _on_window_round(self) -> None:
         """Evolve the congestion window after one window-limited RTT."""
         self.stats.window_rounds += 1
+        if (
+            self._loss_rng is not None
+            and self.faults is not None
+            and float(self._loss_rng.random()) < self.faults.loss_prob
+        ):
+            # Injected WAN loss: indistinguishable from a congestion signal
+            # to the sender, so it composes with the deterministic overflow
+            # / overshoot / probing losses below.
+            self.cc.on_loss()
+            self.stats.losses += 1
+            self.stats.injected_losses += 1
+            self._probe_rounds = 0
+            return
         if not self._cwnd_limited():
             return  # buffer-limited: the window must not evolve
         cc = self.cc
@@ -264,7 +310,16 @@ class _Direction:
                             self.fluid.set_rate_cap(flow, new_cap)
                             sent_cap = new_cap
             self._activity[0] = env.now
-            return env.now + self.route.one_way_delay + TCP_STACK_ONEWAY
+            arrival = (
+                env.now + self.route.one_way_delay * self._rtt_scale + TCP_STACK_ONEWAY
+            )
+            if self._jitter_rng is not None and self.faults is not None:
+                arrival += (
+                    float(self._jitter_rng.random())
+                    * self.faults.jitter_frac
+                    * self.route.one_way_delay
+                )
+            return arrival
         finally:
             self._lock.release(grant)
 
@@ -339,6 +394,11 @@ class Fabric:
         self._sysctls: dict[str, SysctlConfig] = {
             name: sysctls for name in network.clusters
         }
+        #: the ambient fault scenario at construction time (frozen here so a
+        #: scenario deactivated mid-simulation cannot half-apply).
+        self.fault_scenario = _faults.active_scenario()
+        if self.fault_scenario is not None:
+            self.fault_scenario.install(env, network, self.fluid)
 
     def set_sysctls(self, config: SysctlConfig, cluster: Optional[str] = None) -> None:
         """Apply a sysctl configuration to one cluster or to every host."""
@@ -354,6 +414,13 @@ class Fabric:
         return self._sysctls[node.cluster.name]
 
     def connect(self, a: Node, b: Node, options: TcpOptions) -> TcpConnection:
+        scenario = self.fault_scenario
+        if (
+            scenario is not None
+            and scenario.profile is not None
+            and options.fault_profile is None
+        ):
+            options = replace(options, fault_profile=scenario.profile)
         return TcpConnection(
             self.env,
             self.fluid,

@@ -71,6 +71,17 @@ def test_experiments_job_runs_parallel_smoke_and_uploads(workflow):
     assert "results/" in upload["with"]["path"]
 
 
+def test_experiments_job_runs_the_fault_smoke(workflow):
+    commands = _run_commands(workflow["jobs"]["experiments"])
+    # A degraded scenario must actually exercise the sweep on the pool...
+    assert "repro run faults_pingpong --fast --jobs 2 --faults degraded-grid" in commands
+    # ...and a zero-fault run must reproduce the committed golden without
+    # replaying the clean cache (wall-time footer stripped on both sides).
+    assert "--faults none --no-cache" in commands
+    assert "results/fast/fig6.txt" in commands
+    assert "diff -u" in commands
+
+
 def test_check_sh_is_valid_shell():
     bash = shutil.which("bash")
     if bash is None:

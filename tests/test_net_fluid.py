@@ -155,6 +155,29 @@ def test_invalid_cap_rejected(env, net):
         net.start_flow("f", [Pipe("p", Gbps(1))], 10, rate_cap_bps=0)
 
 
+def test_set_pipe_capacity_mid_flight(env, net):
+    pipe = Pipe("wan", 1000.0)
+    flow = net.start_flow("f", [pipe], nbytes=1000)
+    env.run(until=2.0)  # 2000 of 8000 bits done
+    net.set_pipe_capacity(pipe, 100.0)  # the link flaps to 10%
+    assert flow.rate_bps == pytest.approx(100.0)
+    env.run(until=32.0)  # 3000 bits at the degraded rate
+    net.set_pipe_capacity(pipe, 1000.0)  # ... and recovers
+    env.run(until=flow.done)
+    # 2000 + 3000 bits before recovery, 3000 after at full rate
+    assert env.now == pytest.approx(35.0)
+    assert flow.done.triggered
+
+
+def test_set_pipe_capacity_rejects_nonpositive(env, net):
+    pipe = Pipe("wan", 1000.0)
+    net.start_flow("f", [pipe], nbytes=1000)
+    with pytest.raises(NetworkConfigError):
+        net.set_pipe_capacity(pipe, 0.0)
+    with pytest.raises(NetworkConfigError):
+        net.set_pipe_capacity(pipe, -10.0)
+
+
 def test_pipe_invalid_capacity():
     with pytest.raises(NetworkConfigError):
         Pipe("p", 0)

@@ -7,17 +7,25 @@ processes inherit the injected entries without pickling the functions.
 
 import importlib.util
 import json
+import logging
 import multiprocessing
 import os
 import pathlib
 import sys
+import time
 
 import pytest
 
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import get_shard_plan
-from repro.runner import ExperimentSpec, ResultCache, record_campaign, run_campaign
+from repro.runner import (
+    ExperimentSpec,
+    ResultCache,
+    RunnerPolicy,
+    record_campaign,
+    run_campaign,
+)
 from repro.runner.cache import source_digest
 
 needs_fork = pytest.mark.skipif(
@@ -38,6 +46,11 @@ def _raising_experiment(fast=False):
 
 def _crashing_experiment(fast=False):
     os._exit(3)  # simulate a worker segfault: no exception, no cleanup
+
+
+def _hanging_experiment(fast=False):
+    time.sleep(60)  # a stuck shard: only the supervisor's timeout ends it
+    return _tiny_experiment(fast)
 
 
 @pytest.fixture()
@@ -237,6 +250,144 @@ def test_worker_crash_surfaces_as_failure_not_hang(tmp_path, monkeypatch):
     )
     assert not campaign.ok
     assert campaign.runs[0].error  # BrokenProcessPool, surfaced as text
+
+
+# --- robustness policy: timeouts, retries, graceful degradation -------------------
+@needs_fork
+def test_hung_task_times_out_retries_then_fails(tmp_path, monkeypatch, tiny):
+    monkeypatch.setitem(EXPERIMENTS, "hang", _hanging_experiment)
+    campaign = run_campaign(
+        [ExperimentSpec("hang", fast=True), ExperimentSpec(tiny, fast=True)],
+        jobs=2,
+        cache=ResultCache(root=tmp_path / "cache", digest="digest-a"),
+        policy=RunnerPolicy(timeout_s=0.5, retries=1, backoff_s=0.01),
+        out_dir=tmp_path / "out",
+    )
+    assert not campaign.ok
+    hang, tiny_run = campaign.runs
+    assert "timed out after 0.5s wall clock" in hang.error
+    assert "gave up after 2 attempts" in hang.error
+    assert tiny_run.ok  # partial results: the healthy experiment completed
+    assert campaign.timeouts == 2  # initial attempt + one retry
+    assert campaign.retries == 1
+    # ... and its report was still written, while the hung one has none
+    assert (tmp_path / "out" / "tiny.txt").exists()
+    assert not (tmp_path / "out" / "hang.txt").exists()
+
+
+@needs_fork
+def test_crashed_task_recovers_on_retry(tmp_path, monkeypatch):
+    marker = tmp_path / "crashed-once"
+
+    def flaky(fast=False):
+        if not marker.exists():
+            marker.write_text("first attempt crashed")
+            os._exit(9)
+        return ExperimentResult("flaky", "Flaky", "-", [{"x": 1}], "flaky ok")
+
+    monkeypatch.setitem(EXPERIMENTS, "flaky", flaky)
+    campaign = run_campaign(
+        [ExperimentSpec("flaky", fast=True)],
+        jobs=2,
+        cache=ResultCache(root=tmp_path / "cache", digest="digest-a"),
+        policy=RunnerPolicy(timeout_s=30.0, retries=2, backoff_s=0.01),
+    )
+    assert campaign.ok
+    assert campaign.runs[0].text == "flaky ok"
+    assert campaign.retries == 1  # one crash, one successful resubmission
+    assert campaign.timeouts == 0
+
+
+@needs_fork
+def test_crashing_task_exhausts_retries_with_attempt_count(tmp_path, monkeypatch):
+    monkeypatch.setitem(EXPERIMENTS, "crash", _crashing_experiment)
+    campaign = run_campaign(
+        [ExperimentSpec("crash", fast=True)],
+        jobs=2,
+        cache=ResultCache(root=tmp_path, digest="digest-a"),
+        policy=RunnerPolicy(timeout_s=30.0, retries=2, backoff_s=0.01),
+    )
+    assert not campaign.ok
+    assert "worker crashed (exit code 3)" in campaign.runs[0].error
+    assert "gave up after 3 attempts" in campaign.runs[0].error
+    assert campaign.retries == 2
+
+
+@needs_fork
+def test_retry_and_timeout_counters_reach_the_manifest(tmp_path, monkeypatch):
+    monkeypatch.setitem(EXPERIMENTS, "hang", _hanging_experiment)
+    campaign = run_campaign(
+        [ExperimentSpec("hang", fast=True)],
+        jobs=2,
+        cache=ResultCache(root=tmp_path, digest="digest-a"),
+        policy=RunnerPolicy(timeout_s=0.3, retries=1, backoff_s=0.01),
+    )
+    manifest = tmp_path / "bench.json"
+    record_campaign(campaign, path=manifest, label="robustness")
+    entry = json.loads(manifest.read_text())["runs"][-1]
+    assert entry["retries"] == campaign.retries == 1
+    assert entry["timeouts"] == campaign.timeouts == 2
+
+
+def test_runner_policy_validation():
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        RunnerPolicy(timeout_s=0.0)
+    with pytest.raises(ReproError):
+        RunnerPolicy(retries=-1)
+    with pytest.raises(ReproError):
+        RunnerPolicy(backoff_s=-0.1)
+
+
+@needs_fork
+def test_workers_store_with_the_parent_digest(tmp_path, tiny):
+    # The parent computes source_digest() once and ships it to workers; a
+    # worker recomputing its own digest would be both slow and racy.
+    cache = ResultCache(root=tmp_path, digest="pinned-digest")
+    campaign = run_campaign([ExperimentSpec(tiny, fast=True)], jobs=2, cache=cache)
+    assert campaign.ok
+    assert cache.path("experiment/tiny", True).exists()
+    rerun = run_campaign([ExperimentSpec(tiny, fast=True)], jobs=2, cache=cache)
+    assert rerun.runs[0].cached
+
+
+# --- cache corruption: miss + evict + warn ----------------------------------------
+def test_corrupt_cache_entry_is_a_miss_and_gets_evicted(tmp_path, caplog):
+    cache = ResultCache(root=tmp_path, digest="digest-a")
+    cache.store("experiment/tiny", True, {"ok": True})
+    path = cache.path("experiment/tiny", True)
+    path.write_text("{ truncated garbage", encoding="utf-8")
+    with caplog.at_level(logging.WARNING, logger="repro.runner.cache"):
+        assert cache.load("experiment/tiny", True) is None
+    assert not path.exists()  # evicted, cannot shadow the recomputed entry
+    assert "evicted corrupt cache entry" in caplog.text
+    assert "malformed JSON" in caplog.text
+    # the slot is reusable immediately
+    cache.store("experiment/tiny", True, {"ok": True})
+    assert cache.load("experiment/tiny", True) == {"ok": True}
+
+
+def test_wrong_shape_cache_document_is_evicted(tmp_path, caplog):
+    cache = ResultCache(root=tmp_path, digest="digest-a")
+    path = cache.path("experiment/tiny", True)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"schema": 1, "artifact": "not a dict"}))
+    with caplog.at_level(logging.WARNING, logger="repro.runner.cache"):
+        assert cache.load("experiment/tiny", True) is None
+    assert not path.exists()
+    assert "unexpected document shape" in caplog.text
+
+
+def test_corrupt_entry_forces_recompute_then_reheals(tmp_path, tiny):
+    cache = ResultCache(root=tmp_path, digest="digest-a")
+    run_campaign([ExperimentSpec(tiny, fast=True)], cache=cache)
+    cache.path("experiment/tiny", True).write_text("not json at all")
+    rerun = run_campaign([ExperimentSpec(tiny, fast=True)], cache=cache)
+    assert rerun.runs[0].ok
+    assert not rerun.runs[0].cached  # corruption degraded to a recompute
+    healed = run_campaign([ExperimentSpec(tiny, fast=True)], cache=cache)
+    assert healed.runs[0].cached
 
 
 # --- front-ends -------------------------------------------------------------------

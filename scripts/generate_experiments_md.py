@@ -43,6 +43,23 @@ PAPER_SUMMARY = {
     ),
 }
 
+# Extra per-experiment pointers rendered after the paper summary.
+DIAGNOSIS = {
+    "fig7": (
+        "`repro explain fig7` measures the mechanism behind this figure: "
+        "it counts the rendezvous handshakes per message around each "
+        "implementation's eager threshold and prices them at the grid RTT, "
+        "showing why Fig. 6 dips at 128 kB and why the Table 5 thresholds "
+        "(this figure) remove the dip."
+    ),
+    "fig9": (
+        "`repro explain fig9` replays the stream with the telemetry "
+        "recorder on and lines up each stack's congestion-window samples, "
+        "slow-start exit time and loss count next to its time-to-500-Mbps, "
+        "with an ASCII cwnd-ramp chart per stack."
+    ),
+}
+
 
 def main() -> int:
     root = pathlib.Path(__file__).resolve().parents[1]
@@ -55,6 +72,8 @@ def main() -> int:
         path = results / f"{experiment_id}.txt"
         sections.append(f"\n## {experiment_id}\n")
         sections.append(f"*Paper:* {PAPER_SUMMARY[experiment_id]}\n")
+        if experiment_id in DIAGNOSIS:
+            sections.append(f"\n*Diagnose:* {DIAGNOSIS[experiment_id]}\n")
         if path.exists():
             sections.append("```text\n" + path.read_text().rstrip() + "\n```\n")
         else:

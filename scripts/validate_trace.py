@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Validate Chrome trace-event exports (CI telemetry smoke).
+
+    python scripts/validate_trace.py traces/*.trace.json
+    python scripts/validate_trace.py --require-span rndv.handshake traces/fig7.trace.json
+
+Checks each file against the trace-event schema (`repro.obs.
+validate_chrome_trace`) so a malformed export fails the build loudly
+instead of silently refusing to load in Perfetto.  ``--require-span``
+additionally asserts that at least one complete ("X") span with the
+given name is present — CI uses it to pin the acceptance criterion that
+a traced fig7 run contains rendezvous-handshake spans.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", help="*.trace.json files to validate")
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless every file contains an X span with this name "
+        "(repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import validate_chrome_trace
+
+    failed = False
+    for path in args.paths:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})")
+            failed = True
+            continue
+        errors = validate_chrome_trace(document)
+        events = document.get("traceEvents", []) if isinstance(document, dict) else []
+        spans = {e.get("name") for e in events if isinstance(e, dict) and e.get("ph") == "X"}
+        for name in args.require_span:
+            if name not in spans:
+                errors.append(f"required span {name!r} not present")
+        if errors:
+            print(f"{path}: INVALID")
+            for error in errors:
+                print(f"  - {error}")
+            failed = True
+        else:
+            print(f"{path}: ok ({len(events)} events, {len(spans)} span names)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

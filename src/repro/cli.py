@@ -1,4 +1,5 @@
-"""Command-line interface: ``repro list`` / ``run`` / ``lint`` / ``sanitize``.
+"""Command-line interface: ``repro list`` / ``run`` / ``explain`` /
+``profile`` / ``lint`` / ``sanitize``.
 
 Examples::
 
@@ -9,6 +10,11 @@ Examples::
     repro run all --fast --jobs 8   # parallel orchestrator + result cache
     repro run all --no-cache --out results
     repro run fig6 --faults lossy-wan   # replay under a WAN fault scenario
+    repro run fig7 --fast --trace   # record telemetry; Chrome trace to traces/
+    repro run all --metrics-out m   # metric dumps (JSON + CSV) to m/
+    repro explain fig7              # why the 128 kB rendezvous dip happens
+    repro explain fig9              # the slow-start ramp, stack by stack
+    repro profile table7            # cProfile hotspot table of one experiment
     repro faults list               # the named fault scenarios
     repro lint                      # lint src/repro for determinism hazards
     repro lint --rules              # print the rule catalog
@@ -101,6 +107,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="timing manifest location (default BENCH_experiments.json for "
         "multi-experiment campaigns)",
     )
+    run.add_argument(
+        "--trace",
+        nargs="?",
+        const="traces",
+        default=None,
+        metavar="DIR",
+        help="record telemetry and write a Chrome trace-event JSON per "
+        "experiment to DIR (default traces/; open in Perfetto or "
+        "about:tracing).  Telemetry runs bypass the result cache.",
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="DIR",
+        default=None,
+        help="record telemetry metrics and write <id>.metrics.json and "
+        "<id>.metrics.csv per experiment to DIR",
+    )
 
     faults = sub.add_parser(
         "faults", help="inspect the WAN fault-injection scenarios"
@@ -128,6 +151,32 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--rules", action="store_true", help="print the rule catalog and exit"
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="diagnosis report: what the telemetry says about a figure",
+    )
+    explain.add_argument(
+        "figure", choices=("fig7", "fig9"), help="figure to explain"
+    )
+    explain.add_argument(
+        "--full", action="store_true", help="paper-scale probe runs (slower)"
+    )
+
+    profile = sub.add_parser(
+        "profile", help="cProfile hotspot table of one experiment"
+    )
+    profile.add_argument("experiment", help="experiment id, e.g. table7")
+    profile.add_argument(
+        "--full", action="store_true", help="paper-scale configuration (slow)"
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="number of functions to list (default 25)",
     )
 
     sanitize = sub.add_parser(
@@ -174,6 +223,57 @@ def _cmd_sanitize(args) -> int:
     return 0 if report.deterministic else 1
 
 
+def _cmd_explain(args) -> int:
+    from repro.obs.report import explain
+
+    print(explain(args.figure, fast=not args.full))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.experiments import get_experiment
+    from repro.obs.profile import profile_experiment
+
+    get_experiment(args.experiment)  # unknown ids raise before profiling
+    print(profile_experiment(args.experiment, fast=not args.full, top=args.top))
+    return 0
+
+
+def _write_telemetry(campaign, trace_dir, metrics_dir) -> None:
+    """Write per-experiment trace / metric exports for a telemetry campaign."""
+    from pathlib import Path
+
+    from repro.obs import (
+        render_chrome_trace,
+        render_metrics_csv,
+        render_metrics_json,
+    )
+
+    for run in campaign.runs:
+        if not run.ok or run.telemetry is None:
+            continue
+        if trace_dir is not None:
+            out = Path(trace_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            path = out / f"{run.experiment_id}.trace.json"
+            path.write_text(
+                render_chrome_trace(run.telemetry, label=run.experiment_id),
+                encoding="utf-8",
+            )
+            print(f"[trace: {path}]", file=sys.stderr)
+        if metrics_dir is not None:
+            out = Path(metrics_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            json_path = out / f"{run.experiment_id}.metrics.json"
+            json_path.write_text(
+                render_metrics_json(run.telemetry, label=run.experiment_id),
+                encoding="utf-8",
+            )
+            csv_path = out / f"{run.experiment_id}.metrics.csv"
+            csv_path.write_text(render_metrics_csv(run.telemetry), encoding="utf-8")
+            print(f"[metrics: {json_path}, {csv_path}]", file=sys.stderr)
+
+
 def _cmd_faults(args) -> int:
     from repro.faults import SCENARIOS
 
@@ -192,6 +292,10 @@ def main(argv=None) -> int:
         return _cmd_sanitize(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
 
     from repro.experiments import EXPERIMENTS, get_experiment
 
@@ -216,6 +320,15 @@ def main(argv=None) -> int:
     # Unknown scenario names also raise (FaultConfigError) before any work.
     scenario = faults.get_scenario(args.faults) if args.faults else None
 
+    telemetry = None
+    if args.trace is not None or args.metrics_out is not None:
+        from repro.obs import TelemetryConfig
+
+        # --metrics-out alone records only the registry; --trace records
+        # spans too (and implies metrics, so one flag gives both exports).
+        telemetry = TelemetryConfig(spans=args.trace is not None, metrics=True)
+        print("[telemetry on: result cache bypassed]", file=sys.stderr)
+
     cache = None
     if scenario is not None and scenario.active:
         # Faulted runs must never poison (or replay) the clean cache: the
@@ -234,7 +347,10 @@ def main(argv=None) -> int:
             cache=cache,
             use_cache=not args.no_cache,
             out_dir=args.out,
+            telemetry=telemetry,
         )
+    if telemetry is not None:
+        _write_telemetry(campaign, args.trace, args.metrics_out)
     for run in campaign.runs:
         if not run.ok:
             continue

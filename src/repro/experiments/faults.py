@@ -37,6 +37,7 @@ from repro.experiments.npb_runs import npb_fast_config
 from repro.faults import FaultProfile
 from repro.impls import IMPLEMENTATION_ORDER, get_implementation
 from repro.npb import run_npb
+from repro.obs import runtime as _obs
 from repro.report import Table, line_chart
 from repro.tcp.connection import TcpOptions
 from repro.units import MB, fmt_bytes
@@ -90,28 +91,31 @@ def run_loss_curve_shard(curve: str, fast: bool = False) -> dict:
     """
     size, repeats = _pingpong_probe(fast)
     goodput: dict[str, float] = {}
-    for loss in LOSS_RATES:
-        profile = _loss_profile(loss)
-        env = get_environment(_PINGPONG_ENV)
-        net, a, b = pingpong_pair(_PINGPONG_WHERE)
-        if curve == _TCP:
-            result = tcp_pingpong(
-                net,
-                a,
-                b,
-                sizes=(size,),
-                repeats=repeats,
-                sysctls=env.sysctls,
-                options=TcpOptions(fault_profile=profile),
-            )
-        else:
-            impl = env.impl(curve)
-            if profile is not None:
-                impl = impl.with_fault_profile(profile)
-            result = mpi_pingpong(
-                net, impl, a, b, sizes=(size,), repeats=repeats, sysctls=env.sysctls
-            )
-        goodput[f"{loss:g}"] = result.points[0].mean_bandwidth_mbps
+    # Telemetry track named after the shard task_id, so the serial sweep
+    # records into the same tracks a sharded campaign merges back.
+    with _obs.track(_pingpong_task_id(curve)):
+        for loss in LOSS_RATES:
+            profile = _loss_profile(loss)
+            env = get_environment(_PINGPONG_ENV)
+            net, a, b = pingpong_pair(_PINGPONG_WHERE)
+            if curve == _TCP:
+                result = tcp_pingpong(
+                    net,
+                    a,
+                    b,
+                    sizes=(size,),
+                    repeats=repeats,
+                    sysctls=env.sysctls,
+                    options=TcpOptions(fault_profile=profile),
+                )
+            else:
+                impl = env.impl(curve)
+                if profile is not None:
+                    impl = impl.with_fault_profile(profile)
+                result = mpi_pingpong(
+                    net, impl, a, b, sizes=(size,), repeats=repeats, sysctls=env.sysctls
+                )
+            goodput[f"{loss:g}"] = result.points[0].mean_bandwidth_mbps
     return {"goodput": goodput}
 
 
@@ -206,9 +210,10 @@ def run_cg_jitter_shard(impl_name: str, jitter: float, fast: bool = False) -> di
     profile = _jitter_profile(jitter)
     if profile is not None:
         impl = impl.with_fault_profile(profile)
-    result = run_npb(
-        "cg", cls, network, impl, placement, sysctls=env.sysctls, sample_iters=sample
-    )
+    with _obs.track(_cg_task_id(impl_name, jitter)):
+        result = run_npb(
+            "cg", cls, network, impl, placement, sysctls=env.sysctls, sample_iters=sample
+        )
     return {"time": result.time}
 
 

@@ -18,6 +18,7 @@ from repro.experiments.environments import (
 )
 from repro.npb import run_npb
 from repro.npb.common import BENCHMARK_NAMES
+from repro.obs import runtime as _obs
 
 #: paper order of the NPB bars (Figs. 10-13)
 NPB_ORDER = ("ep", "cg", "mg", "lu", "sp", "bt", "is", "ft")
@@ -44,7 +45,11 @@ def npb_time(
     ``cluster4``.
     """
     key = (bench, impl_name, placement_kind, cls, env_name, sample_iters)
-    if key in _cache:
+    # A memo hit replays no simulation, so it would record no telemetry:
+    # with a session active, always recompute (determinism makes the rerun
+    # byte-identical), keeping serial campaigns' exports equal to parallel
+    # ones where fresh worker processes never hit this cache.
+    if key in _cache and _obs.ACTIVE is None:
         return _cache[key]
 
     env: GridEnvironment = get_environment(env_name)
@@ -82,10 +87,13 @@ def bench_times(bench: str, placement_kind: str, fast: bool = False) -> dict[str
     cls, sample = npb_fast_config(fast)
     from repro.impls import IMPLEMENTATION_ORDER
 
-    return {
-        name: npb_time(bench, name, placement_kind, cls=cls, sample_iters=sample)
-        for name in IMPLEMENTATION_ORDER
-    }
+    # Telemetry track named after the shard task_id, so a serial figure run
+    # records into the same tracks a sharded campaign merges back.
+    with _obs.track(f"npb/{placement_kind}/{bench}"):
+        return {
+            name: npb_time(bench, name, placement_kind, cls=cls, sample_iters=sample)
+            for name in IMPLEMENTATION_ORDER
+        }
 
 
 def run_npb_point_shard(bench: str, placement_kind: str, fast: bool = False) -> dict:

@@ -9,6 +9,7 @@ from repro.apps.pingpong import PingPongCurve, PingPongPoint, mpi_pingpong, tcp_
 from repro.experiments.base import ExperimentResult, ShardSpec
 from repro.experiments.environments import get_environment, pingpong_pair
 from repro.impls import IMPLEMENTATION_ORDER
+from repro.obs import runtime as _obs
 from repro.report import Table, line_chart
 from repro.units import KB, MB, fmt_bytes, log2_sizes
 
@@ -27,14 +28,21 @@ def bandwidth_curves(
     """TCP + the four implementations, in the paper's legend order."""
     env = get_environment(env_name)
     net, a, b = pingpong_pair(where)
-    curves: dict[str, PingPongCurve] = {
-        "TCP": tcp_pingpong(net, a, b, sizes=sizes, repeats=repeats, sysctls=env.sysctls)
-    }
+    # Each curve records telemetry into the track named after its shard
+    # task_id, so a serial run and a sharded ``--jobs N`` run export
+    # byte-identical telemetry (tracks are the merge unit; see repro.obs).
+    with _obs.track(f"pingpong/{where}/{env_name}/{TCP_SHARD}"):
+        curves: dict[str, PingPongCurve] = {
+            "TCP": tcp_pingpong(
+                net, a, b, sizes=sizes, repeats=repeats, sysctls=env.sysctls
+            )
+        }
     for name in IMPLEMENTATION_ORDER:
         impl = env.impl(name)
-        curves[impl.display_name] = mpi_pingpong(
-            net, impl, a, b, sizes=sizes, repeats=repeats, sysctls=env.sysctls
-        )
+        with _obs.track(f"pingpong/{where}/{env_name}/{name}"):
+            curves[impl.display_name] = mpi_pingpong(
+                net, impl, a, b, sizes=sizes, repeats=repeats, sysctls=env.sysctls
+            )
     return curves
 
 
@@ -103,13 +111,19 @@ def run_curve_shard(
     repeats = 20 if fast else 100
     env = get_environment(env_name)
     net, a, b = pingpong_pair(where)
-    if curve == TCP_SHARD:
-        result = tcp_pingpong(net, a, b, sizes=sizes, repeats=repeats, sysctls=env.sysctls)
-    else:
-        impl = env.impl(curve)
-        result = mpi_pingpong(
-            net, impl, a, b, sizes=sizes, repeats=repeats, sysctls=env.sysctls
-        )
+    # Same track name the serial path uses (redundant under the runner,
+    # whose shard session already defaults to this track; load-bearing for
+    # a direct call).
+    with _obs.track(f"pingpong/{where}/{env_name}/{curve}"):
+        if curve == TCP_SHARD:
+            result = tcp_pingpong(
+                net, a, b, sizes=sizes, repeats=repeats, sysctls=env.sysctls
+            )
+        else:
+            impl = env.impl(curve)
+            result = mpi_pingpong(
+                net, impl, a, b, sizes=sizes, repeats=repeats, sysctls=env.sysctls
+            )
     return {
         "label": result.label,
         "points": [[p.nbytes, p.min_rtt, p.max_bandwidth_mbps] for p in result.points],

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from repro.apps import run_ray2mesh
 from repro.experiments.base import ExperimentResult, ShardSpec
 from repro.experiments.environments import get_environment
+from repro.obs import runtime as _obs
 from repro.report import Table
 
 SITES = ("nancy", "rennes", "sophia", "toulouse")
@@ -42,9 +43,15 @@ def _summarise(result) -> Ray2MeshSummary:
 
 
 def ray2mesh_results(fast: bool = False) -> dict[str, Ray2MeshSummary]:
-    """One run per master site (memoised; Table 7 reuses them)."""
+    """One run per master site (memoised; Table 7 reuses them).
+
+    With a telemetry session active the memo is bypassed: a hit replays no
+    simulation and would record nothing, whereas recomputation is
+    deterministic and keeps serial exports byte-identical to a sharded
+    campaign's (whose fresh workers never see a warm memo).
+    """
     key = ("ray2mesh", fast)
-    if key not in _cache:
+    if key not in _cache or _obs.ACTIVE is not None:
         _cache[key] = {site: _run_site(site, fast) for site in SITES}
     return _cache[key]  # type: ignore[return-value]
 
@@ -52,14 +59,17 @@ def ray2mesh_results(fast: bool = False) -> dict[str, Ray2MeshSummary]:
 def _run_site(site: str, fast: bool) -> Ray2MeshSummary:
     env = get_environment("fully_tuned")
     total_rays = 100_000 if fast else 1_000_000
-    return _summarise(
-        run_ray2mesh(
-            env.impl("mpich2"),
-            master_site=site,
-            total_rays=total_rays,
-            sysctls=env.sysctls,
+    # Track named after the shard task_id (see ray2mesh_shards), aligning
+    # serial table runs with the sharded campaign's merged payloads.
+    with _obs.track(f"ray2mesh/{site}"):
+        return _summarise(
+            run_ray2mesh(
+                env.impl("mpich2"),
+                master_site=site,
+                total_rays=total_rays,
+                sysctls=env.sysctls,
+            )
         )
-    )
 
 
 # --- sharding (see repro.experiments.base) ---------------------------------------

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.errors import FaultConfigError
 from repro.faults.profile import FaultProfile
+from repro.obs import runtime as _obs
 from repro.sim.rng import RngRegistry
 from repro.units import Mbps
 
@@ -87,6 +88,10 @@ def _cross_traffic_source(
     while env.now < horizon_s:
         burst_s = spec.burst_s * (0.5 + float(rng.random()))
         nbytes = spec.rate_bps * burst_s / 8.0
+        sess = _obs.ACTIVE
+        if sess is not None and sess.metrics:
+            sess.count("faults.cross_traffic_bursts", pipe=pipe.name)
+            sess.count("faults.cross_traffic_bytes", inc=nbytes, pipe=pipe.name)
         flow = fluid.start_flow(
             f"faults.xtraffic.{pipe.name}",
             (pipe,),
@@ -113,8 +118,23 @@ def _link_flapper(
             return
         yield env.timeout(wait)
         fluid.set_pipe_capacity(pipe, nominal * spec.capacity_factor)
+        sess = _obs.ACTIVE
+        if sess is not None:
+            if sess.spans:
+                sess.instant(
+                    env.now, "fault.flap.down", "faults", f"pipe:{pipe.name}",
+                    {"capacity_factor": spec.capacity_factor},
+                )
+            if sess.metrics:
+                sess.count("faults.link_flaps", pipe=pipe.name)
+                sess.count(
+                    "faults.flap_down_seconds", inc=spec.duration_s, pipe=pipe.name
+                )
         yield env.timeout(spec.duration_s)
         fluid.set_pipe_capacity(pipe, nominal)
+        sess = _obs.ACTIVE
+        if sess is not None and sess.spans:
+            sess.instant(env.now, "fault.flap.up", "faults", f"pipe:{pipe.name}", None)
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs import runtime as _obs
 from repro.mpi.collectives.bcast import SEGMENT_SWITCH_BYTES, bcast_binomial
 from repro.mpi.collectives.reduce import reduce_binomial
 from repro.mpi.collectives.segutil import chunk_sizes, is_array
@@ -102,10 +103,15 @@ def allreduce_rabenseifner(comm, tag: int, nbytes: int, payload: Any, op):
         segments = {i: flat[idx] for i, idx in enumerate(bounds)}
     shape = payload.shape if is_array(payload) else None
 
+    sess = _obs.ACTIVE
+    trace_phases = sess is not None and sess.spans
+    obs_lane = f"rank{rank}"
+
     # --- reduce-scatter by recursive halving --------------------------------------
     # Round k exchanges across rank bit k (lowest bit first): the highest
     # bit — inter-site under contiguous placement — goes last, when only
     # 2/P of the vector remains in play.
+    t_rs = comm.env.now
     owned = set(range(size))
     for k in range(steps):
         bit = 1 << k
@@ -123,10 +129,20 @@ def allreduce_rabenseifner(comm, tag: int, nbytes: int, payload: Any, op):
         owned = keep
 
     # Each rank now owns exactly its own reduced segment: owned == {rank}.
+    if trace_phases:
+        sess.complete(
+            t_rs,
+            comm.env.now - t_rs,
+            "allreduce.rab.reduce_scatter",
+            "mpi.collective.phase",
+            obs_lane,
+            {"bytes": nbytes},
+        )
 
     # --- allgather by recursive doubling --------------------------------------------
     # Mirror order (highest bit first): the inter-site exchange happens
     # while each rank holds a single segment.
+    t_ag = comm.env.now
     for k in reversed(range(steps)):
         bit = 1 << k
         partner = rank ^ bit
@@ -140,6 +156,15 @@ def allreduce_rabenseifner(comm, tag: int, nbytes: int, payload: Any, op):
             owned = owned | set(other)
         else:
             owned = owned | {i ^ bit for i in owned}
+    if trace_phases:
+        sess.complete(
+            t_ag,
+            comm.env.now - t_ag,
+            "allreduce.rab.allgather",
+            "mpi.collective.phase",
+            obs_lane,
+            {"bytes": nbytes},
+        )
 
     if payload is None:
         return None

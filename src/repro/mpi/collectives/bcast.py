@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.obs import runtime as _obs
 from repro.mpi.collectives.segutil import (
     chunk_sizes,
     is_array,
@@ -84,9 +85,14 @@ def bcast_van_de_geijn(comm, tag: int, root: int, nbytes: int, payload: Any):
     else:
         segments = [None] * size
 
+    sess = _obs.ACTIVE
+    trace_phases = sess is not None and sess.spans
+    obs_lane = f"rank{rank}"
+
     # --- binomial scatter of the segments -------------------------------------
     # Each rank tracks the vrank interval [lo, hi) it belongs to; the
     # interval owner (lo) forwards the upper half of its segments.
+    t_scatter = comm.env.now
     lo, hi = 0, size
     meta = shape if rank == root else None
     while hi - lo > 1:
@@ -105,8 +111,18 @@ def bcast_van_de_geijn(comm, tag: int, root: int, nbytes: int, payload: Any):
         else:
             lo = mid
     shape = meta
+    if trace_phases:
+        sess.complete(
+            t_scatter,
+            comm.env.now - t_scatter,
+            "bcast.vdg.scatter",
+            "mpi.collective.phase",
+            obs_lane,
+            {"bytes": nbytes},
+        )
 
     # --- ring allgather of the segments ----------------------------------------
+    t_ring = comm.env.now
     right = (vrank + 1) % size
     left = (vrank - 1) % size
     for step in range(size - 1):
@@ -120,6 +136,15 @@ def bcast_van_de_geijn(comm, tag: int, root: int, nbytes: int, payload: Any):
         if shape_in is not None:
             shape = shape_in
         yield from send_req.wait()
+    if trace_phases:
+        sess.complete(
+            t_ring,
+            comm.env.now - t_ring,
+            "bcast.vdg.allgather",
+            "mpi.collective.phase",
+            obs_lane,
+            {"bytes": nbytes},
+        )
 
     if rank == root:
         return payload
@@ -142,15 +167,30 @@ def bcast_hierarchical(comm, tag: int, root: int, nbytes: int, payload: Any):
     leaders[clusters[root]] = root
     my_leader = leaders[clusters[rank]]
 
+    sess = _obs.ACTIVE
+    trace_phases = sess is not None and sess.spans
+    obs_lane = f"rank{rank}"
+
     # Phase 1: root -> other leaders (WAN).
+    t_wan = comm.env.now
     if rank == root:
         for cluster, leader in leaders.items():
             if leader != root:
                 yield from comm._csend(leader, nbytes, payload, tag)
     elif rank == my_leader:
         payload, _ = yield from comm._crecv(root, tag)
+    if trace_phases and rank in leaders.values():
+        sess.complete(
+            t_wan,
+            comm.env.now - t_wan,
+            "bcast.hier.wan",
+            "mpi.collective.phase",
+            obs_lane,
+            {"bytes": nbytes},
+        )
 
     # Phase 2: leader -> local ranks (binomial within the cluster).
+    t_local = comm.env.now
     local = [r for r in range(size) if clusters[r] == clusters[rank]]
     if len(local) > 1:
         lrank = local.index(rank)
@@ -170,4 +210,13 @@ def bcast_hierarchical(comm, tag: int, root: int, nbytes: int, payload: Any):
                 dst = local[(vrank + mask + lroot) % lsize]
                 yield from comm._csend(dst, nbytes, payload, tag)
             mask >>= 1
+        if trace_phases:
+            sess.complete(
+                t_local,
+                comm.env.now - t_local,
+                "bcast.hier.local",
+                "mpi.collective.phase",
+                obs_lane,
+                {"bytes": nbytes},
+            )
     return payload

@@ -26,6 +26,7 @@ from repro.mpi.constants import (
     ReduceOp,
 )
 from repro.mpi.request import Request, waitall, waitany
+from repro.obs import runtime as _obs
 
 
 class Communicator:
@@ -156,7 +157,37 @@ class Communicator:
 
     def _algorithm(self, operation: str):
         name = self._job.impl.collectives.get(operation, coll.DEFAULTS[operation])
-        return coll.resolve(operation, name)
+        algorithm = coll.resolve(operation, name)
+        sess = _obs.ACTIVE
+        if sess is None:
+            return algorithm
+        if sess.metrics:
+            sess.count(
+                "mpi.collective_calls",
+                op=operation,
+                algorithm=name,
+                impl=self._job.impl.name,
+            )
+        if not sess.spans:
+            return algorithm
+
+        def traced(*args, **kwargs):
+            # One span per rank per collective call: entry to local
+            # completion, tagged with the algorithm the implementation
+            # model selected (the per-primitive choice of Table 1).
+            t_enter = self.env.now
+            result = yield from algorithm(*args, **kwargs)
+            sess.complete(
+                t_enter,
+                self.env.now - t_enter,
+                f"coll.{operation}",
+                "mpi.collective",
+                f"rank{self.rank}",
+                {"algorithm": name},
+            )
+            return result
+
+        return traced
 
     # ------------------------------------------------------------- collectives
     def barrier(self):

@@ -25,6 +25,7 @@ from typing import Any, Optional
 
 from repro.errors import MpiError
 from repro.mpi.matching import Mailbox
+from repro.obs import runtime as _obs
 from repro.mpi.message import Envelope, Status
 from repro.mpi.request import Request
 from repro.mpi.tracing import MessageTrace
@@ -100,6 +101,22 @@ class Protocol:
         link = self.transport.link(src, dst)
         self.trace.record_p2p(src, dst, tag, nbytes, context)
 
+        sess = _obs.ACTIVE
+        t_post = env.now
+        lane = f"rank{src}->{dst}"
+        if sess is not None and sess.metrics:
+            eager = nbytes <= impl.eager_threshold
+            sess.count(
+                "mpi.sends",
+                impl=impl.name,
+                proto="eager" if eager else "rndv",
+                wan=link.inter_site,
+                context=context,
+            )
+            sess.observe("mpi.message_bytes", nbytes, impl=impl.name, context=context)
+            if link.inter_site:
+                sess.count("mpi.wan_bytes", inc=float(nbytes), impl=impl.name)
+
         # Sender software overhead + per-byte staging cost.
         setup = impl.latency_overhead(link.inter_site) + nbytes * impl.per_byte_overhead
         if setup > 0:
@@ -118,6 +135,16 @@ class Protocol:
         if nbytes <= impl.eager_threshold:
             arrival = yield from link.transmit(nbytes + EAGER_HEADER_BYTES)
             self._at(arrival, lambda: self.mailboxes[dst].deliver(envelope))
+            if sess is not None and sess.spans:
+                # Post -> receiver-side arrival of the (buffered) payload.
+                sess.complete(
+                    t_post,
+                    arrival - t_post,
+                    "mpi.send.eager",
+                    "mpi.p2p",
+                    lane,
+                    {"bytes": nbytes, "tag": tag},
+                )
             return
 
         # --- rendezvous ---
@@ -128,10 +155,51 @@ class Protocol:
         envelope.on_matched = lambda request: self._rndv_matched(
             envelope, request, ack
         )
+        t_announce = env.now
         arrival = yield from link.transmit(RNDV_CONTROL_BYTES)
         self._at(arrival, lambda: self.mailboxes[dst].deliver(envelope))
+        if sess is not None and sess.spans:
+            sess.complete(
+                t_announce,
+                arrival - t_announce,
+                "rndv.announce",
+                "mpi.rndv",
+                lane,
+                {"bytes": nbytes, "tag": tag},
+            )
         yield ack  # fires when the receiver's acknowledgement reaches us
+        if sess is not None:
+            if sess.spans:
+                # The full eager->rendezvous handshake: send post to ack in
+                # hand.  One extra round trip — 58 us in the cluster,
+                # ruinous 11.6 ms across the grid (paper SS4.2.2).
+                sess.complete(
+                    t_post,
+                    env.now - t_post,
+                    "rndv.handshake",
+                    "mpi.rndv",
+                    lane,
+                    {"bytes": nbytes, "tag": tag},
+                )
+            if sess.metrics:
+                sess.count("mpi.rndv_handshakes", impl=impl.name, wan=link.inter_site)
+                sess.count(
+                    "mpi.rndv_handshake_seconds",
+                    inc=env.now - t_post,
+                    impl=impl.name,
+                    wan=link.inter_site,
+                )
+        t_data = env.now
         data_arrival = yield from link.transmit(nbytes + EAGER_HEADER_BYTES)
+        if sess is not None and sess.spans:
+            sess.complete(
+                t_data,
+                data_arrival - t_data,
+                "rndv.data",
+                "mpi.rndv",
+                lane,
+                {"bytes": nbytes, "tag": tag},
+            )
 
         def complete():
             request = self._rndv_pending.pop(rndv_id)
@@ -145,10 +213,21 @@ class Protocol:
         rlink = self.transport.link(envelope.dst, envelope.src)
 
         def responder():
+            t_ack = self.env.now
             overhead = self.impl.latency_overhead(rlink.inter_site)
             if overhead > 0:
                 yield self.env.timeout(overhead)
             ack_arrival = yield from rlink.transmit(RNDV_CONTROL_BYTES)
             self._at(ack_arrival, lambda: ack.succeed())
+            sess = _obs.ACTIVE
+            if sess is not None and sess.spans:
+                sess.complete(
+                    t_ack,
+                    ack_arrival - t_ack,
+                    "rndv.ack",
+                    "mpi.rndv",
+                    f"rank{envelope.dst}->{envelope.src}",
+                    {"bytes": envelope.nbytes},
+                )
 
         self.env.process(responder())

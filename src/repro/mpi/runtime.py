@@ -28,6 +28,7 @@ from repro.mpi.protocol import Protocol
 from repro.mpi.tracing import MessageTrace
 from repro.mpi.transport import Transport
 from repro.net.topology import Network, Node
+from repro.obs import runtime as _obs
 from repro.sim.core import Environment
 from repro.sim.rng import RngRegistry
 from repro.sim.sync import AllOf, AnyOf
@@ -166,6 +167,28 @@ class MpiJob:
                         finish_times[r] = float("inf")
 
         makespan = max(finish_times) if not timed_out else float("inf")
+        sess = _obs.ACTIVE
+        if sess is not None:
+            if sess.spans and not timed_out:
+                sess.complete(
+                    0.0,
+                    makespan,
+                    "mpi.job",
+                    "mpi",
+                    "job",
+                    {
+                        "impl": self.impl.name,
+                        "nprocs": self.nprocs,
+                        "timed_out": timed_out,
+                    },
+                )
+            if sess.metrics:
+                sess.count("mpi.jobs", impl=self.impl.name)
+                if not timed_out:
+                    sess.gauge(
+                        "mpi.job.makespan_s", makespan, impl=self.impl.name,
+                        nprocs=self.nprocs,
+                    )
         return JobResult(
             makespan=makespan,
             rank_times=finish_times,

@@ -1,0 +1,56 @@
+"""``repro.obs`` — full-stack simulation telemetry.
+
+Three cooperating pieces:
+
+:mod:`repro.obs.runtime`
+    The ambient :class:`TelemetrySession`: a deterministic,
+    sim-time-stamped span/event tracer plus a metrics registry
+    (counters / gauges / histograms).  Zero-cost when disabled — every
+    instrumentation site in the simulator is guarded by one module-global
+    ``None`` check and telemetry never schedules events, so enabling it
+    cannot perturb a simulation's event schedule (asserted by tests).
+
+:mod:`repro.obs.export`
+    Exporters: Chrome trace-event JSON (loadable in Perfetto / about:tracing)
+    and JSON/CSV metric dumps, all byte-deterministic for a given
+    experiment + seed.
+
+:mod:`repro.obs.report` / :mod:`repro.obs.profile`
+    Diagnosis reports (``repro explain fig7`` / ``fig9``) that narrate the
+    paper's headline results from the telemetry, and a cProfile harness
+    (``repro profile``) for the simulator itself.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_document,
+    render_chrome_trace,
+    render_metrics_csv,
+    render_metrics_json,
+    validate_chrome_trace,
+)
+from repro.obs.runtime import (
+    TelemetryConfig,
+    TelemetrySession,
+    active_session,
+    merge_payloads,
+    session,
+    track,
+)
+
+__all__ = [
+    "TelemetryConfig",
+    "TelemetrySession",
+    "active_session",
+    "chrome_trace",
+    "merge_payloads",
+    "metrics_document",
+    "render_chrome_trace",
+    "render_metrics_csv",
+    "render_metrics_json",
+    "session",
+    "track",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,34 @@
+"""``repro profile``: cProfile hotspot table for one experiment.
+
+A thin wrapper over the standard profiler so "why is table7 slow" has a
+one-command answer.  Wall-clock profiling is inherently nondeterministic;
+this is a development tool, never part of an experiment's artifact (the
+determinism contracts of ``results/`` are untouched).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+
+
+def profile_experiment(experiment_id: str, fast: bool = True, top: int = 25) -> str:
+    """Run ``experiment_id`` under cProfile; return the hotspot table."""
+    from repro.experiments import run_experiment
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = run_experiment(experiment_id, fast=fast)
+    finally:
+        profiler.disable()
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    header = (
+        f"profile: {experiment_id} (fast={fast}) — {result.title}\n"
+        f"top {top} functions by cumulative time\n"
+    )
+    return header + stream.getvalue()

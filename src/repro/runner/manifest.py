@@ -34,6 +34,7 @@ def campaign_entry(campaign: "CampaignResult", label: str = "") -> dict[str, Any
         "label": label,
         "jobs": campaign.jobs,
         "cache_enabled": campaign.cache_enabled,
+        "telemetry": campaign.telemetry_enabled,
         "wall_s": round(campaign.wall_s, 3),
         "ok": campaign.ok,
         "retries": campaign.retries,

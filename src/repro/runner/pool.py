@@ -52,6 +52,8 @@ from typing import Any, Callable, Optional
 
 from repro.errors import ReproError
 from repro.mpi.tracing import EventTraceHasher
+from repro.obs.runtime import TelemetryConfig, merge_payloads
+from repro.obs.runtime import session as telemetry_session
 from repro.runner.cache import ResultCache
 from repro.sim.core import trace_capture
 
@@ -121,6 +123,11 @@ class ExperimentRun:
     trace_mode: str = "serial"
     trace_events: int = 0
     error: Optional[str] = None
+    #: merged telemetry payload (``repro.obs``); present only when the
+    #: campaign ran with telemetry enabled.  Deliberately NOT part of
+    #: :meth:`artifact`: telemetry runs bypass the result cache, and the
+    #: cached/golden artifacts must stay byte-identical either way.
+    telemetry: Optional[dict] = None
 
     def artifact(self) -> dict[str, Any]:
         """The structured JSON artifact stored in the cache / out dir."""
@@ -173,6 +180,8 @@ class CampaignResult:
     retries: int = 0
     #: tasks terminated for exceeding the policy's wall-clock timeout
     timeouts: int = 0
+    #: the campaign recorded telemetry (and therefore bypassed the cache)
+    telemetry_enabled: bool = False
 
     @property
     def failures(self) -> list[ExperimentRun]:
@@ -218,6 +227,7 @@ def _shard_worker(
     cache_root: str = "",
     cache_digest: str = "",
     cache_enabled: bool = False,
+    telemetry: "tuple[bool, bool] | None" = None,
 ) -> dict:
     """Execute one shard under trace capture; returns its artifact.
 
@@ -227,8 +237,16 @@ def _shard_worker(
     survives even if the parent dies before collecting it.
     """
     started = time.monotonic()  # host-side timing, not sim state  # lint: disable=DET002
+    config = TelemetryConfig.from_tuple(telemetry)
+    sess = None
     with trace_capture() as hasher:
-        payload = _resolve(runner)(fast=fast, **params)
+        if config is None:
+            payload = _resolve(runner)(fast=fast, **params)
+        else:
+            # The shard's records default into the track named after its
+            # task_id — the same track the serial path switches to.
+            with telemetry_session(config, default_track=task_id) as sess:
+                payload = _resolve(runner)(fast=fast, **params)
     elapsed = time.monotonic() - started  # lint: disable=DET002
     artifact = {
         "kind": "shard",
@@ -237,24 +255,38 @@ def _shard_worker(
         "trace_hash": hasher.hexdigest(),
         "trace_events": hasher.events,
     }
+    if sess is not None:
+        artifact["telemetry"] = sess.to_payload()
     if cache_enabled and task_id and cache_root:
         cache = ResultCache(root=cache_root, digest=cache_digest, enabled=True)
         cache.store(task_id, fast, artifact)
     return artifact
 
 
-def _experiment_worker(experiment_id: str, fast: bool) -> dict:
+def _experiment_worker(
+    experiment_id: str,
+    fast: bool,
+    telemetry: "tuple[bool, bool] | None" = None,
+) -> dict:
     """Execute one whole experiment under trace capture."""
     from repro.experiments import run_experiment
 
     started = time.monotonic()  # host-side timing, not sim state  # lint: disable=DET002
+    config = TelemetryConfig.from_tuple(telemetry)
+    sess = None
     with trace_capture() as hasher:
-        result = run_experiment(experiment_id, fast=fast)
+        if config is None:
+            result = run_experiment(experiment_id, fast=fast)
+        else:
+            with telemetry_session(
+                config, default_track=f"experiment/{experiment_id}"
+            ) as sess:
+                result = run_experiment(experiment_id, fast=fast)
     elapsed = time.monotonic() - started  # lint: disable=DET002
     # Same convention as the sanitizer: fold the rendered text so
     # value-level divergence changes the hash too.
     hasher.update_text(result.text)
-    return {
+    payload = {
         "wall_s": elapsed,
         "trace_hash": hasher.hexdigest(),
         "trace_events": hasher.events,
@@ -263,6 +295,9 @@ def _experiment_worker(experiment_id: str, fast: bool) -> dict:
         "rows": result.rows,
         "text": result.text,
     }
+    if sess is not None:
+        payload["telemetry"] = sess.to_payload()
+    return payload
 
 
 def _task_main(conn, target: Callable[..., Any], args: tuple) -> None:
@@ -440,6 +475,7 @@ def _run_from_worker_payload(spec: ExperimentSpec, payload: dict) -> ExperimentR
         trace_hash=payload["trace_hash"],
         trace_mode="serial",
         trace_events=payload["trace_events"],
+        telemetry=payload.get("telemetry"),
     )
 
 
@@ -457,12 +493,13 @@ def _run_serial(
     misses: list[ExperimentSpec],
     cache: ResultCache,
     progress: Optional[Callable[[str], None]],
+    telemetry: "tuple[bool, bool] | None" = None,
 ) -> dict[tuple[str, bool], ExperimentRun]:
     """The historical one-at-a-time loop, minus its abort-on-first-error."""
     runs: dict[tuple[str, bool], ExperimentRun] = {}
     for spec in misses:
         try:
-            payload = _experiment_worker(spec.experiment_id, spec.fast)
+            payload = _experiment_worker(spec.experiment_id, spec.fast, telemetry)
             run = _run_from_worker_payload(spec, payload)
         except Exception as exc:  # noqa: BLE001 - surfaced in the campaign result
             run = _failed_run(spec, _describe_error(exc))
@@ -489,6 +526,7 @@ def _run_parallel(
     jobs: int,
     policy: RunnerPolicy,
     progress: Optional[Callable[[str], None]],
+    telemetry: "tuple[bool, bool] | None" = None,
 ) -> tuple[dict[tuple[str, bool], ExperimentRun], int, int]:
     from repro.experiments.registry import ShardPlan, get_shard_plan
 
@@ -511,7 +549,7 @@ def _run_parallel(
                 _Task(
                     key=("experiment", spec.experiment_id, spec.fast),
                     target=_experiment_worker,
-                    args=(spec.experiment_id, spec.fast),
+                    args=(spec.experiment_id, spec.fast, telemetry),
                     label=spec.experiment_id,
                 )
             )
@@ -540,6 +578,7 @@ def _run_parallel(
                         str(cache.root),
                         cache.digest,
                         cache.enabled,
+                        telemetry,
                     ),
                     label=shard.task_id,
                 )
@@ -579,6 +618,7 @@ def _merge_sharded(
 ) -> ExperimentRun:
     payloads: dict[str, Any] = {}
     shard_hashes: dict[str, str] = {}
+    shard_telemetry: dict[str, dict] = {}
     wall = 0.0
     events = 0
     failed: list[str] = []
@@ -589,6 +629,8 @@ def _merge_sharded(
             continue
         payloads[shard.task_id] = artifact["payload"]
         shard_hashes[shard.task_id] = artifact.get("trace_hash", "")
+        if artifact.get("telemetry"):
+            shard_telemetry[shard.task_id] = artifact["telemetry"]
         wall += float(artifact.get("wall_s", 0.0))
         events += int(artifact.get("trace_events", 0))
     if failed:
@@ -612,6 +654,15 @@ def _merge_sharded(
         trace_hash=EventTraceHasher.combine(shard_hashes, result.text),
         trace_mode="sharded",
         trace_events=events,
+        # Sorted task_id order, independent of shard completion order —
+        # the serial==parallel telemetry byte-identity relies on it.
+        telemetry=(
+            merge_payloads(
+                shard_telemetry[task_id] for task_id in sorted(shard_telemetry)
+            )
+            if shard_telemetry
+            else None
+        ),
     )
 
 
@@ -623,6 +674,7 @@ def run_campaign(
     out_dir: "Path | str | None" = None,
     progress: Optional[Callable[[str], None]] = None,
     policy: Optional[RunnerPolicy] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> CampaignResult:
     """Run a campaign; never raises for individual experiment failures.
 
@@ -631,12 +683,20 @@ def run_campaign(
     built with ``enabled=use_cache``.  ``policy`` tunes timeout/retry
     handling on the parallel path; the serial path (``jobs <= 1``) runs
     in-process, where a hung experiment cannot be killed.
+
+    ``telemetry`` turns on the ``repro.obs`` recorder in every worker and
+    attaches the merged payload to each :class:`ExperimentRun`.  Telemetry
+    campaigns bypass the result cache entirely — cached artifacts carry no
+    telemetry, and a half-cached campaign would return half-empty traces.
     """
     started = time.monotonic()  # host-side timing, not sim state  # lint: disable=DET002
-    if cache is None:
+    if telemetry is not None:
+        cache = ResultCache(enabled=False, digest="")
+    elif cache is None:
         cache = ResultCache(enabled=use_cache, digest="" if not use_cache else None)
     if policy is None:
         policy = DEFAULT_POLICY
+    telemetry_pair = telemetry.as_tuple() if telemetry is not None else None
 
     runs: dict[tuple[str, bool], ExperimentRun] = {}
     misses: list[ExperimentSpec] = []
@@ -656,10 +716,10 @@ def run_campaign(
 
     if misses:
         if jobs <= 1:
-            runs.update(_run_serial(misses, cache, progress))
+            runs.update(_run_serial(misses, cache, progress, telemetry_pair))
         else:
             parallel_runs, n_retries, n_timeouts = _run_parallel(
-                misses, cache, jobs, policy, progress
+                misses, cache, jobs, policy, progress, telemetry_pair
             )
             runs.update(parallel_runs)
 
@@ -672,6 +732,7 @@ def run_campaign(
         cache_enabled=cache.enabled,
         retries=n_retries,
         timeouts=n_timeouts,
+        telemetry_enabled=telemetry is not None,
     )
     if out_dir is not None:
         write_reports(campaign, Path(out_dir))

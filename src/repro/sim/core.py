@@ -22,6 +22,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs import runtime as _obs
 
 URGENT = 0
 NORMAL = 1
@@ -327,6 +328,11 @@ class Environment:
         if _TRACE_SINKS:
             for sink in tuple(_TRACE_SINKS):
                 sink(self._now, priority, seq, event)
+        sess = _obs.ACTIVE
+        if sess is not None and sess.spans:
+            # Sparse queue-depth sampling; records only, never schedules,
+            # so telemetry cannot perturb the event stream it observes.
+            sess.sim_step(self._now, len(self._queue))
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
             raise SimulationError(f"{event!r} processed twice")

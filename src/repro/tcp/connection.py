@@ -50,6 +50,7 @@ from typing import Optional
 
 from repro import faults as _faults
 from repro.errors import TcpError
+from repro.obs import runtime as _obs
 from repro.faults.profile import FaultProfile
 from repro.net.fluid import FluidNetwork
 from repro.net.topology import Network, Node, Route
@@ -182,6 +183,12 @@ class _Direction:
             self._loss_rng = None
             self._jitter_rng = None
 
+        sess = _obs.ACTIVE
+        if sess is not None and sess.metrics:
+            sess.count("tcp.connections", wan=route.inter_site)
+            if self.faults is not None:
+                sess.count("faults.profiles_applied", wan=route.inter_site)
+
         queue = WAN_QUEUE_BYTES if route.inter_site else LAN_QUEUE_BYTES
         # BDP of the (possibly inflated) path: an RTT-inflating fault grows
         # the pipe the window has to fill before the queue overflows.
@@ -211,6 +218,32 @@ class _Direction:
     def _on_window_round(self) -> None:
         """Evolve the congestion window after one window-limited RTT."""
         self.stats.window_rounds += 1
+        was_slow_start = self.cc.in_slow_start
+        loss_kind = self._evolve_window()
+
+        sess = _obs.ACTIVE
+        if sess is None:
+            return
+        now = self.env.now
+        exited_slow_start = was_slow_start and not self.cc.in_slow_start
+        if sess.spans:
+            sess.sample(now, "tcp.cwnd", self.name, self.cc.cwnd)
+            if loss_kind is not None:
+                sess.instant(now, f"tcp.loss.{loss_kind}", "tcp", self.name)
+            if exited_slow_start:
+                sess.instant(now, "tcp.slowstart.exit", "tcp", self.name)
+        if sess.metrics:
+            sess.count("tcp.window_rounds", wan=self.route.inter_site)
+            if loss_kind is not None:
+                sess.count("tcp.losses", kind=loss_kind, wan=self.route.inter_site)
+                if loss_kind == "injected":
+                    sess.count("faults.injected_losses")
+            if exited_slow_start:
+                sess.count("tcp.slowstart_exits", wan=self.route.inter_site)
+                sess.gauge("tcp.slowstart_exit_s", now, conn=self.name)
+
+    def _evolve_window(self) -> Optional[str]:
+        """One window-evolution step; returns the loss kind (or ``None``)."""
         if (
             self._loss_rng is not None
             and self.faults is not None
@@ -223,31 +256,32 @@ class _Direction:
             self.stats.losses += 1
             self.stats.injected_losses += 1
             self._probe_rounds = 0
-            return
+            return "injected"
         if not self._cwnd_limited():
-            return  # buffer-limited: the window must not evolve
+            return None  # buffer-limited: the window must not evolve
         cc = self.cc
         if cc.in_slow_start:
             if cc.cwnd >= self.ss_cap:
                 cc.on_loss()
                 self.stats.losses += 1
                 self._probe_rounds = 0
-            else:
-                cc.on_round()
-            return
+                return "overshoot"
+            cc.on_round()
+            return None
         if cc.cwnd >= self.loss_threshold:
             cc.on_loss()
             self.stats.losses += 1
             self._probe_rounds = 0
-            return
+            return "overflow"
         if cc.cwnd >= cc.last_max:
             self._probe_rounds += 1
             if self._probe_rounds >= self.options.probe_loss_rounds:
                 cc.on_loss()
                 self.stats.losses += 1
                 self._probe_rounds = 0
-                return
+                return "probe"
         cc.on_round()
+        return None
 
     # -- the transfer ----------------------------------------------------------------
     def transmit(self, nbytes: int):
@@ -259,10 +293,12 @@ class _Direction:
         """
         if nbytes < 0:
             raise TcpError(f"cannot transmit {nbytes} bytes")
+        t_post = self.env.now
         grant = self._lock.request()
         yield grant
         try:
             env = self.env
+            sess = _obs.ACTIVE
             last_activity = self._activity[0]
             if (
                 self.slow_start_after_idle
@@ -271,10 +307,18 @@ class _Direction:
             ):
                 self.cc.on_idle_restart()
                 self.stats.idle_restarts += 1
+                if sess is not None:
+                    if sess.spans:
+                        sess.instant(env.now, "tcp.idle_restart", "tcp", self.name)
+                    if sess.metrics:
+                        sess.count("tcp.idle_restarts", wan=self.route.inter_site)
 
             wire = nbytes * WIRE_FACTOR + PER_MESSAGE_WIRE_BYTES
             self.stats.transfers += 1
             self.stats.payload_bytes += nbytes
+            if sess is not None and sess.metrics:
+                sess.count("tcp.transfers", wan=self.route.inter_site)
+                sess.observe("tcp.transfer_bytes", nbytes, wan=self.route.inter_site)
 
             window = self.window()
             if wire <= window:
@@ -309,16 +353,32 @@ class _Direction:
                         if new_cap < sent_cap or new_cap > 1.05 * sent_cap:
                             self.fluid.set_rate_cap(flow, new_cap)
                             sent_cap = new_cap
+                if sess is not None and sess.spans:
+                    # Window-limited transfers only: one span per segment
+                    # of an NPB run would swamp the trace, but the large
+                    # transfers are where the WAN diagnosis lives.
+                    sess.complete(
+                        t_post,
+                        env.now - t_post,
+                        "tcp.transmit",
+                        "tcp",
+                        self.name,
+                        {"bytes": nbytes, "window_limited": True},
+                    )
             self._activity[0] = env.now
             arrival = (
                 env.now + self.route.one_way_delay * self._rtt_scale + TCP_STACK_ONEWAY
             )
             if self._jitter_rng is not None and self.faults is not None:
-                arrival += (
+                jitter = (
                     float(self._jitter_rng.random())
                     * self.faults.jitter_frac
                     * self.route.one_way_delay
                 )
+                arrival += jitter
+                if sess is not None and sess.metrics:
+                    sess.count("faults.jitter_draws")
+                    sess.count("faults.jitter_seconds", inc=jitter)
             return arrival
         finally:
             self._lock.release(grant)

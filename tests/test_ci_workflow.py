@@ -64,11 +64,33 @@ def test_experiments_job_runs_parallel_smoke_and_uploads(workflow):
     # (git status --porcelain) would always fail.
     assert "git ls-files --others --exclude-standard" in commands
     assert "git status --porcelain" not in commands
-    upload = next(
+    uploads = [
         step for step in experiments["steps"] if "upload-artifact" in step.get("uses", "")
-    )
-    assert "BENCH_experiments.json" in upload["with"]["path"]
-    assert "results/" in upload["with"]["path"]
+    ]
+    paths = "\n".join(step["with"]["path"] for step in uploads)
+    assert "BENCH_experiments.json" in paths
+    assert "results/" in paths
+
+
+def test_experiments_job_runs_the_telemetry_smoke(workflow):
+    experiments = workflow["jobs"]["experiments"]
+    commands = _run_commands(experiments)
+    # A traced sweep must run, its trace must pass schema validation with
+    # the rendezvous-handshake spans present...
+    assert "--trace" in commands
+    assert "scripts/validate_trace.py" in commands
+    assert "--require-span rndv.handshake" in commands
+    # ...the traced report must stay byte-identical to the committed
+    # golden (telemetry never perturbs the simulation)...
+    assert "results/fast/fig7.txt" in commands
+    # ...the diagnosis reports must render...
+    assert "repro explain fig7" in commands
+    assert "repro explain fig9" in commands
+    # ...and the trace must be uploaded as a workflow artifact.
+    uploads = [
+        step for step in experiments["steps"] if "upload-artifact" in step.get("uses", "")
+    ]
+    assert any("/tmp/traces/" in step["with"]["path"] for step in uploads)
 
 
 def test_experiments_job_runs_the_fault_smoke(workflow):

@@ -43,8 +43,15 @@ missing_tool() {
     fi
 }
 
+# Hand every tool an explicitly sorted file list (LC_ALL=C for a stable
+# collation) instead of directories: directory walks surface files in
+# filesystem-discovery order, which differs across machines and would make
+# violation output byte-unstable.  `repro lint` sorts its own worklist the
+# same way internally.
+mapfile -t PY_FILES < <(find src/repro tests scripts -name '*.py' | LC_ALL=C sort)
+
 if python -m ruff --version >/dev/null 2>&1; then
-    run_step "ruff" python -m ruff check src/repro tests scripts
+    run_step "ruff" python -m ruff check "${PY_FILES[@]}"
 else
     missing_tool "ruff"
 fi

@@ -1,0 +1,167 @@
+"""The suppression baseline: accepted findings CI will not fail on.
+
+``analysis/baseline.json`` records violations that are understood and
+deliberately tolerated, each with a mandatory human-written justification.
+The pytest gate and ``repro lint`` subtract baseline-matched findings, so
+CI fails only on *new* violations — and on baseline entries that no longer
+match anything (a stale entry means the finding was fixed: delete it).
+
+Entries match on ``(path, rule, snippet)``, where ``path`` is canonical
+(relative to the ``repro`` package) and ``snippet`` is the stripped source
+text of the violating line.  Matching on text rather than line numbers
+keeps the baseline stable across unrelated edits; the recorded line is
+advisory.  The production tree aims for an *empty* entry list — targeted
+``# repro: noqa=<RULE>`` pragmas with an adjacent comment are preferred
+because they live next to the code they excuse.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.passes.base import Violation
+
+__all__ = [
+    "BaselineEntry",
+    "BaselineError",
+    "canonical_path",
+    "default_baseline_path",
+    "load_baseline",
+    "partition",
+    "write_baseline",
+]
+
+_SCHEMA = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or under-justified."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    path: str  # canonical, e.g. "repro/sim/core.py"
+    rule: str
+    line: int  # advisory; matching uses the snippet
+    snippet: str
+    justification: str
+
+    def matches(self, violation: Violation) -> bool:
+        if self.rule != violation.rule or self.path != canonical_path(violation.path):
+            return False
+        if self.snippet:
+            return self.snippet == violation.snippet
+        return self.line == violation.line
+
+
+def canonical_path(path: str) -> str:
+    """Path relative to the ``repro`` package, with forward slashes.
+
+    ``/anything/src/repro/sim/core.py`` -> ``repro/sim/core.py``; paths
+    without a ``repro`` segment are returned slash-normalised as-is, so
+    test fixtures with synthetic paths still round-trip.
+    """
+    parts = Path(path).parts
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    return "/".join(parts)
+
+
+def default_baseline_path() -> Path:
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+def load_baseline(path: "str | Path | None" = None) -> list[BaselineEntry]:
+    """Parse and validate the baseline file (missing file = empty baseline)."""
+    file = Path(path) if path is not None else default_baseline_path()
+    if not file.exists():
+        return []
+    try:
+        payload = json.loads(file.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{file}: not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA:
+        raise BaselineError(f"{file}: expected an object with schema={_SCHEMA}")
+    raw_entries = payload.get("entries", [])
+    if not isinstance(raw_entries, list):
+        raise BaselineError(f"{file}: 'entries' must be a list")
+    entries: list[BaselineEntry] = []
+    for index, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict):
+            raise BaselineError(f"{file}: entries[{index}] is not an object")
+        missing = {"path", "rule", "justification"} - raw.keys()
+        if missing:
+            raise BaselineError(
+                f"{file}: entries[{index}] missing {sorted(missing)}"
+            )
+        justification = str(raw["justification"]).strip()
+        if not justification:
+            raise BaselineError(
+                f"{file}: entries[{index}] ({raw['rule']} at {raw['path']}) "
+                "has an empty justification; every accepted finding needs one"
+            )
+        entries.append(
+            BaselineEntry(
+                path=str(raw["path"]),
+                rule=str(raw["rule"]).upper(),
+                line=int(raw.get("line", 0)),
+                snippet=str(raw.get("snippet", "")).strip(),
+                justification=justification,
+            )
+        )
+    return entries
+
+
+def partition(
+    violations: Sequence[Violation], entries: Sequence[BaselineEntry]
+) -> "tuple[list[Violation], list[tuple[Violation, BaselineEntry]], list[BaselineEntry]]":
+    """Split findings into (new, baseline-matched, stale-entries).
+
+    An entry may match several violations (the same accepted pattern on
+    adjacent lines); an entry matching none is stale and should be deleted
+    from the baseline.
+    """
+    fresh: list[Violation] = []
+    matched: list[tuple[Violation, BaselineEntry]] = []
+    used: set[int] = set()
+    for violation in violations:
+        entry = next((e for e in entries if e.matches(violation)), None)
+        if entry is None:
+            fresh.append(violation)
+        else:
+            matched.append((violation, entry))
+            used.add(id(entry))
+    stale = [e for e in entries if id(e) not in used]
+    return fresh, matched, stale
+
+
+def write_baseline(
+    violations: Sequence[Violation],
+    path: "str | Path | None" = None,
+    justification: Optional[str] = None,
+) -> Path:
+    """Serialise ``violations`` as a fresh baseline file.
+
+    Each entry gets the placeholder justification unless one is supplied;
+    the placeholder deliberately fails :func:`load_baseline`'s non-empty
+    check only if blanked, so writers must still review each line.
+    """
+    file = Path(path) if path is not None else default_baseline_path()
+    entries = [
+        {
+            "path": canonical_path(v.path),
+            "rule": v.rule,
+            "line": v.line,
+            "snippet": v.snippet,
+            "justification": justification or "TODO: justify or fix",
+        }
+        for v in sorted(set(violations), key=lambda v: (v.path, v.line, v.rule, v.message))
+    ]
+    payload = {"schema": _SCHEMA, "entries": entries}
+    file.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return file

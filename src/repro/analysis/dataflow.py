@@ -1,0 +1,762 @@
+"""Intraprocedural abstract interpretation over function ASTs.
+
+This module is the whole-program half of the static-analysis suite: where
+the PR-1 passes match single statements, the passes built on top of this
+engine *propagate* facts through assignments, branches and loops.  Two
+abstract domains share one walker:
+
+* :class:`DimInterpreter` — unit-dimension inference.  Values are tagged
+  with a physical dimension (seconds, microseconds, bytes, bits, bits/s,
+  bytes/s) seeded from ``repro.units`` constructor calls (``usec``, ``kb``,
+  ``Mbps``, …), ``Size``/``Rate`` annotations, module-level constants and
+  conservative name patterns (``*_bps``, ``nbytes``, ``env.now``).
+  Cross-dimension arithmetic, seconds↔µs and bytes↔bits mixing, ambiguous
+  returns and bad ``timeout``/``schedule`` delays are recorded as
+  :class:`DimFinding` records; ``repro.analysis.passes.dim`` turns them
+  into DIM rule violations.
+* :class:`ForwardAnalysis` subclasses in ``repro.analysis.passes.sched``
+  track container kinds (set / list / dict) to find unordered iteration
+  feeding the event scheduler.
+
+The interpretation is deliberately unsound-but-useful: branches are merged
+with a flat join (conflicting facts become *unknown*), loops run once, and
+calls are only interpreted through an allowlist of ``repro.units`` helpers.
+Unknown never produces a finding, so imprecision costs recall, not false
+positives.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.analysis.passes.base import ModuleContext, functions_of
+
+__all__ = [
+    "BITS",
+    "BPS",
+    "BYTES",
+    "BYTES_PER_S",
+    "DimFinding",
+    "DimInterpreter",
+    "ForwardAnalysis",
+    "SECONDS",
+    "USEC",
+    "classify_mix",
+]
+
+AnyFunction = "ast.FunctionDef | ast.AsyncFunctionDef"
+
+# --- the dimension domain ----------------------------------------------------
+SECONDS = "seconds"
+USEC = "microseconds"
+BYTES = "bytes"
+BITS = "bits"
+BPS = "bits/s"
+BYTES_PER_S = "bytes/s"
+
+#: dims that share a quantity but differ by a scale factor; mixing them is
+#: the classic silent corruption (off by 1e6 / off by 8)
+_TIME_SCALES = frozenset({SECONDS, USEC})
+_DATA_SCALES = frozenset({BYTES, BITS})
+_RATE_SCALES = frozenset({BPS, BYTES_PER_S})
+
+
+def classify_mix(a: str, b: str) -> str:
+    """Which family of mixing a conflict between dims ``a`` and ``b`` is.
+
+    Returns ``"time-scale"`` (seconds vs µs), ``"data-scale"`` (bytes vs
+    bits, bits/s vs bytes/s) or ``"mix"`` (unrelated dimensions).
+    """
+    pair = {a, b}
+    if pair <= _TIME_SCALES:
+        return "time-scale"
+    if pair <= _DATA_SCALES or pair <= _RATE_SCALES:
+        return "data-scale"
+    return "mix"
+
+
+# --- seeds -------------------------------------------------------------------
+#: fully resolved callable -> dimension of its return value
+_CALL_DIMS: Dict[str, Optional[str]] = {
+    "repro.units.usec": SECONDS,
+    "repro.units.msec": SECONDS,
+    "repro.units.transfer_seconds": SECONDS,
+    "repro.units.to_usec": USEC,
+    "repro.units.to_msec": None,  # milliseconds: not tracked
+    "repro.units.kb": BYTES,
+    "repro.units.mb": BYTES,
+    "repro.units.parse_size": BYTES,
+    "repro.units.bps": BPS,
+    "repro.units.Kbps": BPS,
+    "repro.units.Mbps": BPS,
+    "repro.units.Gbps": BPS,
+    "repro.units.bits_per_second": BPS,
+    "repro.units.bytes_per_second": BYTES_PER_S,
+    "repro.units.goodput_mbps": None,  # Mbit/s display value, not bits/s
+}
+
+#: unambiguous helper names matched by tail when import resolution fails
+#: (e.g. a ``units.Mbps`` attribute on a locally bound module object)
+_CALL_TAILS: Dict[str, str] = {
+    "Kbps": BPS,
+    "Mbps": BPS,
+    "Gbps": BPS,
+    "usec": SECONDS,
+    "to_usec": USEC,
+    "transfer_seconds": SECONDS,
+    "bits_per_second": BPS,
+    "bytes_per_second": BYTES_PER_S,
+}
+
+#: fully resolved constant -> its dimension
+_CONST_DIMS: Dict[str, str] = {
+    "repro.units.KB": BYTES,
+    "repro.units.MB": BYTES,
+    "repro.units.GB": BYTES,
+}
+
+#: builtins that return (one of) their arguments unchanged, dimensionally
+_PASSTHROUGH_CALLS = frozenset({"int", "float", "abs", "round", "max", "min"})
+
+#: annotation spellings -> dimension
+_ANNOTATION_DIMS: Dict[str, str] = {
+    "Size": BYTES,
+    "Rate": BPS,
+    "units.Size": BYTES,
+    "units.Rate": BPS,
+    "repro.units.Size": BYTES,
+    "repro.units.Rate": BPS,
+}
+
+#: conservative name patterns, applied to parameter names and attribute
+#: reads; ordered, first match wins
+_NAME_SEEDS: Sequence[tuple[re.Pattern, str]] = (
+    (re.compile(r"(^|_)n?bytes$|_bytes$"), BYTES),
+    (re.compile(r"(^|_)n?bits$|_bits$"), BITS),
+    (re.compile(r"_bps$"), BPS),
+    (re.compile(r"(^|_)seconds$"), SECONDS),
+    (re.compile(r"_usec$"), USEC),
+)
+
+#: attribute spellings denoting the current simulation time (seconds)
+_TIME_ATTRS = frozenset({"now"})
+
+
+def name_seed(name: str) -> Optional[str]:
+    """Dimension suggested by a bare identifier, or ``None``."""
+    stripped = name.lstrip("_")
+    for pattern, dim in _NAME_SEEDS:
+        if pattern.search(stripped):
+            return dim
+    return None
+
+
+def annotation_dim(ctx: ModuleContext, node: Optional[ast.expr]) -> Optional[str]:
+    """Dimension promised by a type annotation, or ``None``."""
+    if node is None:
+        return None
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        resolved = ctx.resolve(node)
+        if resolved in _ANNOTATION_DIMS:
+            return _ANNOTATION_DIMS[resolved]
+        return _ANNOTATION_DIMS.get(resolved.rsplit(".", 1)[-1])
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation like "Rate | float": a single dimensioned token
+        # decides; two different ones would be ambiguous, so bail out.
+        tokens = re.findall(r"[A-Za-z_.]+", node.value)
+        dims = {_ANNOTATION_DIMS[t] for t in tokens if t in _ANNOTATION_DIMS}
+        return next(iter(dims)) if len(dims) == 1 else None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = annotation_dim(ctx, node.left)
+        right = annotation_dim(ctx, node.right)
+        if left and right:
+            return left if left == right else None
+        return left or right
+    if isinstance(node, ast.Subscript):
+        # Optional[Size] / Annotated[Rate, ...]: the head decides
+        head = node.value
+        if isinstance(head, (ast.Name, ast.Attribute)):
+            tail = ctx.resolve(head).rsplit(".", 1)[-1]
+            if tail in ("Optional", "Final", "Annotated", "ClassVar"):
+                inner = node.slice
+                if isinstance(inner, ast.Tuple) and inner.elts:
+                    inner = inner.elts[0]
+                return annotation_dim(ctx, inner)
+    return None
+
+
+def _mentions_per(node: ast.expr) -> bool:
+    """True when the expression names a per-something ratio (``*_per_*``)."""
+    for sub in ast.walk(node):
+        spelling = ""
+        if isinstance(sub, ast.Name):
+            spelling = sub.id
+        elif isinstance(sub, ast.Attribute):
+            spelling = sub.attr
+        if "per_" in spelling.lower():
+            return True
+    return False
+
+
+def _literal_value(node: ast.expr) -> Optional[float]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_value(node.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+def target_key(node: ast.expr) -> Optional[str]:
+    """Environment key for an assignment target / lookup expression.
+
+    Locals map by name; short attribute chains of plain names
+    (``flow.rate_bps``, ``self.env.now``) map by their dotted spelling so
+    facts survive storing through an attribute.  Anything else (calls,
+    subscripts) has no stable key.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+        if len(parts) > 3:
+            return None
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+# --- the generic forward walker ----------------------------------------------
+class ForwardAnalysis:
+    """One forward pass over a statement list with branch joins.
+
+    The abstract value domain is whatever the subclass's :meth:`eval` hooks
+    return; ``None`` is the universal *unknown*.  Branches of ``if`` /
+    ``try`` are interpreted independently from the pre-state and merged
+    with :meth:`join`; loop bodies run once and merge with the pre-state.
+    That is enough to *report* on every reachable statement while keeping
+    the walk linear in the program size.
+    """
+
+    def __init__(self, ctx: ModuleContext):
+        self.ctx = ctx
+
+    # -- hooks for subclasses --------------------------------------------------
+    def eval(self, node: Optional[ast.expr], env: Dict[str, Optional[str]]) -> Optional[str]:
+        if node is None:
+            return None
+        method = getattr(self, "_eval_" + type(node).__name__, None)
+        if method is not None:
+            return method(node, env)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child, env)
+        return None
+
+    def join(self, a: Optional[str], b: Optional[str]) -> Optional[str]:
+        return a if a == b else None
+
+    def on_return(
+        self, stmt: ast.Return, value: Optional[str], env: Dict[str, Optional[str]]
+    ) -> None:
+        """Called for every ``return`` statement (subclass hook)."""
+
+    def on_for(
+        self, stmt: "ast.For | ast.AsyncFor", iter_value: Optional[str],
+        env: Dict[str, Optional[str]],
+    ) -> None:
+        """Called for every ``for`` loop before its body runs (subclass hook)."""
+
+    def seed_params(self, func: ast.AST, env: Dict[str, Optional[str]]) -> None:
+        """Seed the environment from the function signature (subclass hook)."""
+
+    def element_of(self, iter_value: Optional[str]) -> Optional[str]:
+        """Abstract value of one element of an iterated value."""
+        return None
+
+    # -- entry points ----------------------------------------------------------
+    def analyze_function(
+        self, func: AnyFunction, base_env: Optional[Dict[str, Optional[str]]] = None
+    ) -> Dict[str, Optional[str]]:
+        env: Dict[str, Optional[str]] = dict(base_env or {})
+        for arg in _all_args(func.args):
+            env.pop(arg.arg, None)
+        self.seed_params(func, env)
+        self.exec_block(func.body, env)
+        return env
+
+    def analyze_module_body(self) -> Dict[str, Optional[str]]:
+        """Interpret module-level statements (function/class bodies skipped)."""
+        env: Dict[str, Optional[str]] = {}
+        self.exec_block(self.ctx.tree.body, env)
+        return env
+
+    # -- statement execution ---------------------------------------------------
+    def exec_block(self, stmts: Sequence[ast.stmt], env: Dict[str, Optional[str]]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: ast.stmt, env: Dict[str, Optional[str]]) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self.assign(target, stmt.value, value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            value = self.value_from_annotation(stmt.annotation, env)
+            if stmt.value is not None:
+                inferred = self.eval(stmt.value, env)
+                value = value if value is not None else inferred
+            self.assign(stmt.target, stmt.value, value, env)
+        elif isinstance(stmt, ast.AugAssign):
+            self.exec_augassign(stmt, env)
+        elif isinstance(stmt, ast.Return):
+            value = self.eval(stmt.value, env) if stmt.value is not None else None
+            self.on_return(stmt, value, env)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test, env)
+            then_env = dict(env)
+            else_env = dict(env)
+            self.exec_block(stmt.body, then_env)
+            self.exec_block(stmt.orelse, else_env)
+            self._replace(env, self.merge(then_env, else_env))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_value = self.eval(stmt.iter, env)
+            self.on_for(stmt, iter_value, env)
+            body_env = dict(env)
+            self.assign(stmt.target, None, self.element_of(iter_value), body_env)
+            self.exec_block(stmt.body, body_env)
+            self.exec_block(stmt.orelse, body_env)
+            self._replace(env, self.merge(env, body_env))
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test, env)
+            body_env = dict(env)
+            self.exec_block(stmt.body, body_env)
+            self.exec_block(stmt.orelse, body_env)
+            self._replace(env, self.merge(env, body_env))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, None, value, env)
+            self.exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            pre = dict(env)
+            self.exec_block(stmt.body, env)
+            merged = dict(env)
+            for handler in stmt.handlers:
+                handler_env = dict(pre)
+                if handler.name:
+                    handler_env[handler.name] = None
+                self.exec_block(handler.body, handler_env)
+                merged = self.merge(merged, handler_env)
+            self._replace(env, merged)
+            self.exec_block(stmt.orelse, env)
+            self.exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested scopes are analyzed separately (functions_of); the
+            # defined name itself carries no dimension.
+            env.pop(stmt.name, None)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                key = target_key(target)
+                if key is not None:
+                    env.pop(key, None)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child, env)
+        elif isinstance(
+            stmt,
+            (ast.Pass, ast.Break, ast.Continue, ast.Import, ast.ImportFrom,
+             ast.Global, ast.Nonlocal),
+        ):
+            pass
+        else:  # match statements and friends: evaluate expressions only
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child, env)
+
+    def exec_augassign(self, stmt: ast.AugAssign, env: Dict[str, Optional[str]]) -> None:
+        self.eval(stmt.value, env)
+        key = target_key(stmt.target)
+        if key is not None and key in env:
+            env[key] = self.join(env[key], env[key])
+
+    def assign(
+        self,
+        target: ast.expr,
+        value_node: Optional[ast.expr],
+        value: Optional[str],
+        env: Dict[str, Optional[str]],
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            elements: List[Optional[ast.expr]] = [None] * len(target.elts)
+            if isinstance(value_node, (ast.Tuple, ast.List)) and len(
+                value_node.elts
+            ) == len(target.elts):
+                elements = list(value_node.elts)
+            for sub_target, sub_node in zip(target.elts, elements):
+                sub_value = self.eval(sub_node, env) if sub_node is not None else None
+                self.assign(sub_target, sub_node, sub_value, env)
+            return
+        if isinstance(target, ast.Starred):
+            self.assign(target.value, None, None, env)
+            return
+        key = target_key(target)
+        if key is not None:
+            env[key] = value
+
+    def value_from_annotation(
+        self, annotation: Optional[ast.expr], env: Dict[str, Optional[str]]
+    ) -> Optional[str]:
+        return None
+
+    def merge(
+        self, env_a: Dict[str, Optional[str]], env_b: Dict[str, Optional[str]]
+    ) -> Dict[str, Optional[str]]:
+        merged: Dict[str, Optional[str]] = {}
+        for key in env_a.keys() | env_b.keys():
+            merged[key] = self.join(env_a.get(key), env_b.get(key))
+        return merged
+
+    @staticmethod
+    def _replace(env: Dict[str, Optional[str]], new_env: Dict[str, Optional[str]]) -> None:
+        env.clear()
+        env.update(new_env)
+
+
+def _all_args(args: ast.arguments) -> Iterator[ast.arg]:
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        yield arg
+    if args.vararg:
+        yield args.vararg
+    if args.kwarg:
+        yield args.kwarg
+
+
+# --- the dimension interpreter -----------------------------------------------
+@dataclass(frozen=True)
+class DimFinding:
+    """One dimension conflict, with a rendered message."""
+
+    line: int
+    #: "mix" | "time-scale" | "data-scale" | "ambiguous-return" | "negative-delay"
+    kind: str
+    message: str
+
+
+class DimInterpreter(ForwardAnalysis):
+    """Unit-dimension inference over one module.
+
+    :meth:`analyze` interprets the module body first (so module-level
+    constants like ``TCP_STACK_ONEWAY = usec(12)`` seed every function),
+    then every function independently, and returns the accumulated
+    :class:`DimFinding` records.
+    """
+
+    #: delay-position call sites that must receive seconds; maps the callee
+    #: attribute/name to the positional index of the delay argument
+    _DELAY_SLOTS = {"timeout": 0, "schedule": 1, "_schedule": 2}
+
+    def __init__(self, ctx: ModuleContext):
+        super().__init__(ctx)
+        self.findings: List[DimFinding] = []
+        self._returns: List[tuple[int, str]] = []
+
+    # -- public API ------------------------------------------------------------
+    def analyze(self) -> List[DimFinding]:
+        module_env = self.analyze_module_body()
+        for func in functions_of(self.ctx.tree):
+            self._returns = []
+            self.analyze_function(func, base_env=module_env)
+            self._check_return_ambiguity(func)
+        return sorted(set(self.findings), key=lambda f: (f.line, f.kind, f.message))
+
+    # -- seeding ---------------------------------------------------------------
+    def seed_params(self, func: ast.AST, env: Dict[str, Optional[str]]) -> None:
+        assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for arg in _all_args(func.args):
+            dim = annotation_dim(self.ctx, arg.annotation) or name_seed(arg.arg)
+            if dim is not None:
+                env[arg.arg] = dim
+
+    def value_from_annotation(
+        self, annotation: Optional[ast.expr], env: Dict[str, Optional[str]]
+    ) -> Optional[str]:
+        return annotation_dim(self.ctx, annotation)
+
+    # -- expression evaluation ---------------------------------------------------
+    def _eval_Constant(self, node: ast.Constant, env: Dict[str, Optional[str]]) -> Optional[str]:
+        return None  # bare literals are dimension-polymorphic
+
+    def _eval_Name(self, node: ast.Name, env: Dict[str, Optional[str]]) -> Optional[str]:
+        if node.id in env:
+            return env[node.id]
+        resolved = self.ctx.resolve(node)
+        if resolved in _CONST_DIMS:
+            return _CONST_DIMS[resolved]
+        return name_seed(node.id)
+
+    def _eval_Attribute(self, node: ast.Attribute, env: Dict[str, Optional[str]]) -> Optional[str]:
+        key = target_key(node)
+        if key is not None and key in env:
+            return env[key]
+        self.eval(node.value, env)
+        resolved = self.ctx.resolve(node)
+        if resolved in _CONST_DIMS:
+            return _CONST_DIMS[resolved]
+        if node.attr in _TIME_ATTRS:
+            return SECONDS
+        return name_seed(node.attr)
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp, env: Dict[str, Optional[str]]) -> Optional[str]:
+        value = self.eval(node.operand, env)
+        return value if isinstance(node.op, (ast.USub, ast.UAdd)) else None
+
+    def _eval_BoolOp(self, node: ast.BoolOp, env: Dict[str, Optional[str]]) -> Optional[str]:
+        values = [self.eval(v, env) for v in node.values]
+        known = {v for v in values if v is not None}
+        return next(iter(known)) if len(known) == 1 else None
+
+    def _eval_IfExp(self, node: ast.IfExp, env: Dict[str, Optional[str]]) -> Optional[str]:
+        self.eval(node.test, env)
+        return self.join(self.eval(node.body, env), self.eval(node.orelse, env))
+
+    def _eval_NamedExpr(self, node: ast.NamedExpr, env: Dict[str, Optional[str]]) -> Optional[str]:
+        value = self.eval(node.value, env)
+        self.assign(node.target, node.value, value, env)
+        return value
+
+    def _eval_Await(self, node: ast.Await, env: Dict[str, Optional[str]]) -> Optional[str]:
+        return self.eval(node.value, env)
+
+    def _eval_Yield(self, node: ast.Yield, env: Dict[str, Optional[str]]) -> Optional[str]:
+        self.eval(node.value, env)
+        return None
+
+    def _eval_YieldFrom(self, node: ast.YieldFrom, env: Dict[str, Optional[str]]) -> Optional[str]:
+        self.eval(node.value, env)
+        return None
+
+    def _eval_Lambda(self, node: ast.Lambda, env: Dict[str, Optional[str]]) -> Optional[str]:
+        return None  # separate scope; not interpreted
+
+    def _eval_Compare(self, node: ast.Compare, env: Dict[str, Optional[str]]) -> Optional[str]:
+        operands = [self.eval(node.left, env)]
+        operands.extend(self.eval(comparator, env) for comparator in node.comparators)
+        known = [d for d in operands if d is not None]
+        for first, second in zip(known, known[1:]):
+            if first != second:
+                self._report_mix(node, first, second, "compared with")
+        return None
+
+    def _eval_BinOp(self, node: ast.BinOp, env: Dict[str, Optional[str]]) -> Optional[str]:
+        left = self.eval(node.left, env)
+        right = self.eval(node.right, env)
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            return self._combine_additive(node, left, right)
+        if isinstance(op, ast.Mult):
+            return self._combine_mult(node, left, right)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            return self._combine_div(node, left, right)
+        if isinstance(op, ast.Mod):
+            return left
+        return None
+
+    def _eval_Call(self, node: ast.Call, env: Dict[str, Optional[str]]) -> Optional[str]:
+        arg_values = [self.eval(arg, env) for arg in node.args]
+        kwarg_values = {
+            kw.arg: self.eval(kw.value, env) for kw in node.keywords if kw.arg is not None
+        }
+        for kw in node.keywords:
+            if kw.arg is None:
+                self.eval(kw.value, env)
+        self._check_delay_call(node, arg_values, kwarg_values)
+
+        resolved = self.ctx.resolve(node.func)
+        if resolved in _CALL_DIMS:
+            return _CALL_DIMS[resolved]
+        tail = resolved.rsplit(".", 1)[-1] if resolved else ""
+        if tail in _CALL_TAILS:
+            return _CALL_TAILS[tail]
+        if resolved in _PASSTHROUGH_CALLS:
+            known = {v for v in arg_values if v is not None}
+            return next(iter(known)) if len(known) == 1 else None
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr == "copy" and not node.args:
+                return self.eval(node.func.value, env)
+            self.eval(node.func.value, env)
+        return None
+
+    # -- dimension algebra -------------------------------------------------------
+    def _combine_additive(
+        self, node: ast.BinOp, left: Optional[str], right: Optional[str]
+    ) -> Optional[str]:
+        if left is not None and right is not None:
+            if left == right:
+                return left
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            self._report_mix(node, left, right, f"combined with `{op}`")
+            return None
+        return left if left is not None else right
+
+    def _combine_mult(
+        self, node: ast.BinOp, left: Optional[str], right: Optional[str]
+    ) -> Optional[str]:
+        # bytes * 8 is the idiomatic bytes->bits conversion
+        if left == BYTES and _literal_value(node.right) == 8.0:
+            return BITS
+        if right == BYTES and _literal_value(node.left) == 8.0:
+            return BITS
+        # A factor named per_* (per_byte_overhead, cost_per_hop) is a ratio:
+        # multiplying by it changes the dimension in a way we cannot see.
+        if _mentions_per(node.left) or _mentions_per(node.right):
+            return None
+        if left is None:
+            return right  # scaling by a dimensionless factor
+        if right is None:
+            return left
+        pair = {left, right}
+        if pair == {SECONDS, BPS}:
+            return BITS
+        if pair == {SECONDS, BYTES_PER_S}:
+            return BYTES
+        if USEC in pair and pair & ({SECONDS} | _RATE_SCALES):
+            self._report_mix(node, left, right, "multiplied", kind="time-scale")
+            return None
+        return None  # other dimensioned products: untracked, silent
+
+    def _combine_div(
+        self, node: ast.BinOp, left: Optional[str], right: Optional[str]
+    ) -> Optional[str]:
+        if left == BITS and _literal_value(node.right) == 8.0:
+            return BYTES
+        if left is None or right is None:
+            # Dividing by an unknown may change the dimension (bits / rate
+            # is a time); stay silent and unknown.
+            return None
+        if left == right:
+            return None  # a dimensionless ratio
+        if left == BYTES and right == SECONDS:
+            return BYTES_PER_S
+        if left == BITS and right == SECONDS:
+            return BPS
+        if left == BYTES and right == BYTES_PER_S:
+            return SECONDS
+        if left == BITS and right == BPS:
+            return SECONDS
+        if left == BYTES and right == BPS:
+            self._report_mix(
+                node, left, right, "divided", kind="data-scale",
+                note="; byte counts must be converted to bits (*8) before dividing by a bits/s rate",
+            )
+            return SECONDS
+        if left == BITS and right == BYTES_PER_S:
+            self._report_mix(node, left, right, "divided", kind="data-scale")
+            return SECONDS
+        if {left, right} <= _TIME_SCALES:
+            self._report_mix(node, left, right, "divided", kind="time-scale")
+            return None
+        if right == USEC and left in _DATA_SCALES:
+            self._report_mix(node, left, right, "divided", kind="time-scale")
+            return None
+        return None
+
+    # -- findings ----------------------------------------------------------------
+    def _report_mix(
+        self,
+        node: ast.AST,
+        left: str,
+        right: str,
+        verb: str,
+        kind: Optional[str] = None,
+        note: str = "",
+    ) -> None:
+        kind = kind or classify_mix(left, right)
+        self.findings.append(
+            DimFinding(
+                getattr(node, "lineno", 1),
+                kind,
+                f"{left} {verb} {right}{note}",
+            )
+        )
+
+    def _check_delay_call(
+        self,
+        node: ast.Call,
+        arg_values: List[Optional[str]],
+        kwarg_values: Dict[str, Optional[str]],
+    ) -> None:
+        if isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            callee = node.func.id
+        else:
+            return
+        if callee == "Timeout":
+            position = 1
+        elif callee in self._DELAY_SLOTS:
+            position = self._DELAY_SLOTS[callee]
+        else:
+            return
+
+        delay_node: Optional[ast.expr] = None
+        delay_dim: Optional[str] = None
+        if position < len(node.args):
+            delay_node = node.args[position]
+            delay_dim = arg_values[position]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "delay":
+                    delay_node = kw.value
+                    delay_dim = kwarg_values.get("delay")
+                    break
+        if delay_node is None:
+            return
+        literal = _literal_value(delay_node)
+        if literal is not None and literal < 0:
+            self.findings.append(
+                DimFinding(
+                    delay_node.lineno,
+                    "negative-delay",
+                    f"literal negative delay {literal!r} passed to `{callee}`"
+                    " (events cannot fire in the past; Environment._schedule raises)",
+                )
+            )
+        if delay_dim is not None and delay_dim != SECONDS:
+            self.findings.append(
+                DimFinding(
+                    delay_node.lineno,
+                    classify_mix(delay_dim, SECONDS),
+                    f"{delay_dim} value passed as the seconds delay of `{callee}`",
+                )
+            )
+
+    def _check_return_ambiguity(self, func: AnyFunction) -> None:
+        dims = {dim for _line, dim in self._returns}
+        if len(dims) < 2:
+            return
+        lines = sorted({line for line, _dim in self._returns})
+        self.findings.append(
+            DimFinding(
+                func.lineno,
+                "ambiguous-return",
+                f"`{func.name}` returns {', '.join(sorted(dims))} on different "
+                f"paths (returns at lines {', '.join(map(str, lines))})",
+            )
+        )
+
+    def on_return(
+        self, stmt: ast.Return, value: Optional[str], env: Dict[str, Optional[str]]
+    ) -> None:
+        if value is not None:
+            self._returns.append((stmt.lineno, value))

@@ -1,25 +1,49 @@
 """Determinism & unit-safety linter over ``src/repro/**``.
 
 The driver parses each module once, hands the :class:`ModuleContext` to
-every registered pass, applies ``# lint: disable=<rule>`` pragmas, and
-returns sorted, de-duplicated :class:`Violation` records.
+every registered pass, applies ``# repro: noqa=<rule>`` pragmas (legacy
+spelling ``# lint: disable=``), reports pragmas that no longer suppress
+anything (NOQA001), and returns sorted, de-duplicated :class:`Violation`
+records with the violating source line attached as a snippet.
 
 Used three ways:
 
 * ``repro lint [paths...]`` (CLI, exit 1 on violations),
 * the pytest session gate (``repro.analysis.pytest_plugin``),
 * programmatically: ``lint_source(...)`` in the rule unit tests.
+
+Suppression baselines (``analysis/baseline.json``) are applied by the
+callers above via :func:`repro.analysis.baseline.partition`, not here —
+the driver always reports the full truth.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
-from repro.analysis.passes import ALL_PASSES, RULE_CATALOG, LintPass
+from repro.analysis.passes import ALL_PASSES, LintPass
+from repro.analysis.passes import RULE_CATALOG as _PASS_CATALOG
 from repro.analysis.passes.base import ModuleContext, Violation
 
-__all__ = ["Linter", "RULE_CATALOG", "Violation", "lint_paths", "lint_source", "source_root"]
+__all__ = [
+    "DRIVER_RULES",
+    "Linter",
+    "RULE_CATALOG",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "source_root",
+]
+
+#: rules emitted by the driver itself, not by any pass
+DRIVER_RULES: dict[str, str] = {
+    "NOQA001": "pragma suppresses a rule that does not fire here (stale) or does not exist",
+}
+
+#: rule id -> one-line description, the complete catalog (passes + driver)
+RULE_CATALOG: dict[str, str] = {**_PASS_CATALOG, **DRIVER_RULES}
 
 
 class Linter:
@@ -30,10 +54,12 @@ class Linter:
         passes: Optional[Sequence[type[LintPass]]] = None,
         select: Optional[Iterable[str]] = None,
         ignore: Optional[Iterable[str]] = None,
+        check_pragmas: bool = True,
     ):
         self.passes: list[LintPass] = [cls() for cls in (passes or ALL_PASSES)]
         self.select = frozenset(r.upper() for r in select) if select else None
         self.ignore = frozenset(r.upper() for r in ignore) if ignore else frozenset()
+        self.check_pragmas = check_pragmas
 
     # -- single module -----------------------------------------------------------
     def lint_source(
@@ -51,17 +77,60 @@ class Linter:
                     "file must parse before it can be linted",
                 )
             ]
+        lines = source.splitlines()
+
+        def snippet(lineno: int) -> str:
+            return lines[lineno - 1].strip() if 0 < lineno <= len(lines) else ""
+
+        # Suppression usage is tracked on the *unfiltered* stream so a
+        # pragma for a deselected rule still counts as used when the rule
+        # fires — select/ignore narrow the report, not the analysis.
         found: set[Violation] = set()
+        used: set[tuple[int, str]] = set()
         for lint_pass in self.passes:
             for violation in lint_pass.check(ctx):
-                if self.select is not None and violation.rule not in self.select:
+                anchor = ctx.suppressor(violation.line, violation.rule)
+                if anchor is not None:
+                    used.add((anchor, violation.rule))
                     continue
-                if violation.rule in self.ignore:
+                found.add(dataclasses.replace(violation, snippet=snippet(violation.line)))
+
+        if self.check_pragmas:
+            for violation in self._stale_pragmas(ctx, used):
+                found.add(dataclasses.replace(violation, snippet=snippet(violation.line)))
+
+        selected = [
+            v
+            for v in found
+            if (self.select is None or v.rule in self.select) and v.rule not in self.ignore
+        ]
+        return sorted(selected, key=lambda v: (v.path, v.line, v.rule, v.message))
+
+    def _stale_pragmas(
+        self, ctx: ModuleContext, used: set[tuple[int, str]]
+    ) -> Iterable[Violation]:
+        """NOQA001: pragma rules that suppressed nothing this run.
+
+        Staleness is only judged for rules whose pass actually ran — a
+        custom pass selection must not flag pragmas it cannot evaluate.
+        Unknown rule ids (in no catalog at all) are always reported.
+        """
+        judged = {rule for lint_pass in self.passes for rule in lint_pass.rules}
+        for anchor in sorted(ctx.pragmas):
+            for rule in sorted(ctx.pragmas[anchor]):
+                if (anchor, rule) in used or rule == "NOQA001":
                     continue
-                if ctx.suppressed(violation.line, violation.rule):
+                if rule not in RULE_CATALOG:
+                    message = f"pragma references unknown rule `{rule}`"
+                    hint = "check the rule id against `repro explain --rules`"
+                elif rule in judged:
+                    message = f"pragma suppresses `{rule}`, which does not fire here"
+                    hint = "the finding was fixed; delete the stale pragma"
+                else:
                     continue
-                found.add(violation)
-        return sorted(found, key=lambda v: (v.path, v.line, v.rule, v.message))
+                if ctx.suppressed(anchor, "NOQA001"):
+                    continue
+                yield Violation(ctx.path, anchor, "NOQA001", message, hint)
 
     def lint_file(self, path: "str | Path") -> list[Violation]:
         path = Path(path)
@@ -72,14 +141,19 @@ class Linter:
         )
 
     def lint_paths(self, paths: Iterable["str | Path"]) -> list[Violation]:
-        violations: list[Violation] = []
+        # One globally sorted, de-duplicated worklist (not per-directory)
+        # so the report is byte-stable regardless of argument order or
+        # filesystem enumeration quirks.
+        files: set[Path] = set()
         for path in paths:
             path = Path(path)
             if path.is_dir():
-                for file in sorted(path.rglob("*.py")):
-                    violations.extend(self.lint_file(file))
+                files.update(path.rglob("*.py"))
             elif path.suffix == ".py":
-                violations.extend(self.lint_file(path))
+                files.add(path)
+        violations: list[Violation] = []
+        for file in sorted(files, key=str):
+            violations.extend(self.lint_file(file))
         return violations
 
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from repro.analysis.passes.base import LintPass, ModuleContext, Violation
 from repro.analysis.passes.det import DeterminismPass
+from repro.analysis.passes.dim import DimDataflowPass
+from repro.analysis.passes.sched import SchedulePass
 from repro.analysis.passes.sim import SimContractPass
 from repro.analysis.passes.unit import UnitSafetyPass
 
@@ -12,9 +14,12 @@ ALL_PASSES: tuple[type[LintPass], ...] = (
     DeterminismPass,
     UnitSafetyPass,
     SimContractPass,
+    DimDataflowPass,
+    SchedulePass,
 )
 
-#: rule id -> one-line description, the complete catalog
+#: rule id -> one-line description, the complete pass catalog (the driver
+#: adds its own NOQA rule; see ``repro.analysis.linter.RULE_CATALOG``)
 RULE_CATALOG: dict[str, str] = {
     rule: text for cls in ALL_PASSES for rule, text in cls.rules.items()
 }
@@ -23,8 +28,10 @@ __all__ = [
     "ALL_PASSES",
     "RULE_CATALOG",
     "DeterminismPass",
+    "DimDataflowPass",
     "LintPass",
     "ModuleContext",
+    "SchedulePass",
     "SimContractPass",
     "UnitSafetyPass",
     "Violation",

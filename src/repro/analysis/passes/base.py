@@ -14,8 +14,9 @@ import re
 from dataclasses import dataclass, field
 from typing import Iterator
 
-#: ``# lint: disable=DET001`` or ``# lint: disable=DET001,UNIT002``
-_PRAGMA = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+#: ``# repro: noqa=<RULE>`` (canonical) or the legacy spelling
+#: ``# lint: disable=<RULE>``; both accept comma lists (``=<RULE>,<RULE>``)
+_PRAGMA = re.compile(r"#\s*(?:repro:\s*noqa|lint:\s*disable)=([A-Za-z0-9_,\s]+)")
 
 
 @dataclass(frozen=True)
@@ -27,6 +28,10 @@ class Violation:
     rule: str
     message: str
     hint: str = ""
+    #: stripped source text of the violating line; excluded from equality so
+    #: dedup/sorting ignore it.  Filled by the driver, used for baseline
+    #: matching (entries survive line-number drift) and SARIF snippets.
+    snippet: str = field(default="", compare=False)
 
     def render(self) -> str:
         text = f"{self.path}:{self.line}: {self.rule} {self.message}"
@@ -45,6 +50,9 @@ class ModuleContext:
     module_name: str = ""
     #: line number -> set of rule ids disabled on that line
     pragmas: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: (start, end, rules, anchor): function-scope pragmas — a pragma on a
+    #: ``def`` or decorator line suppresses its rules for the whole body
+    pragma_ranges: list[tuple[int, int, frozenset[str], int]] = field(default_factory=list)
     #: local alias -> fully dotted module/object path ("np" -> "numpy")
     aliases: dict[str, str] = field(default_factory=dict)
 
@@ -53,6 +61,7 @@ class ModuleContext:
         tree = ast.parse(source, filename=path)
         ctx = cls(path=path, source=source, tree=tree, module_name=module_name)
         ctx.pragmas = _collect_pragmas(source)
+        ctx.pragma_ranges = _collect_pragma_ranges(tree, ctx.pragmas)
         ctx.aliases = _collect_aliases(tree)
         return ctx
 
@@ -75,7 +84,22 @@ class ModuleContext:
         return ".".join(reversed(parts))
 
     def suppressed(self, line: int, rule: str) -> bool:
-        return rule in self.pragmas.get(line, frozenset())
+        return self.suppressor(line, rule) is not None
+
+    def suppressor(self, line: int, rule: str) -> "int | None":
+        """Anchor line of the pragma suppressing ``rule`` at ``line``, if any.
+
+        The anchor is where the pragma comment lives — the violation line
+        itself for same-line pragmas, a ``def``/decorator line for
+        function-scope pragmas.  The driver uses it to detect pragmas that
+        no longer suppress anything (NOQA001).
+        """
+        if rule in self.pragmas.get(line, frozenset()):
+            return line
+        for start, end, rules, anchor in self.pragma_ranges:
+            if start <= line <= end and rule in rules:
+                return anchor
+        return None
 
 
 def _collect_pragmas(source: str) -> dict[int, frozenset[str]]:
@@ -89,6 +113,22 @@ def _collect_pragmas(source: str) -> dict[int, frozenset[str]]:
             if rules:
                 pragmas[lineno] = rules
     return pragmas
+
+
+def _collect_pragma_ranges(
+    tree: ast.Module, pragmas: dict[int, frozenset[str]]
+) -> list[tuple[int, int, frozenset[str], int]]:
+    """Widen pragmas on ``def``/decorator lines to cover the whole function."""
+    ranges: list[tuple[int, int, frozenset[str], int]] = []
+    for func in functions_of(tree):
+        header_lines = {func.lineno}
+        header_lines.update(dec.lineno for dec in func.decorator_list)
+        end = func.end_lineno or func.lineno
+        for anchor in sorted(header_lines):
+            rules = pragmas.get(anchor)
+            if rules:
+                ranges.append((min(header_lines), end, rules, anchor))
+    return ranges
 
 
 def _collect_aliases(tree: ast.Module) -> dict[str, str]:

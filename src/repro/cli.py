@@ -18,7 +18,10 @@ Examples::
     repro faults list               # the named fault scenarios
     repro lint                      # lint src/repro for determinism hazards
     repro lint --rules              # print the rule catalog
+    repro lint --sarif lint.sarif   # write findings as a SARIF 2.1.0 log
     repro sanitize fig3             # double-run trace-hash determinism check
+    repro sanitize fig7 --perturb   # adversarial same-timestamp reordering
+    repro cache prune --max-size 256MB   # bound .repro-cache/, oldest first
 """
 
 from __future__ import annotations
@@ -152,6 +155,32 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--rules", action="store_true", help="print the rule catalog and exit"
     )
+    lint.add_argument(
+        "--sarif",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="write findings as a SARIF 2.1.0 log to PATH ('-' or no value: stdout)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="suppression baseline to subtract (default: the checked-in "
+        "analysis/baseline.json)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the suppression baseline",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings: rewrite the baseline file and exit 0 "
+        "(each entry still needs its justification filled in)",
+    )
 
     explain = sub.add_parser(
         "explain",
@@ -190,6 +219,58 @@ def _build_parser() -> argparse.ArgumentParser:
     sanitize.add_argument(
         "--full", action="store_true", help="paper-scale configuration (slow)"
     )
+    sanitize.add_argument(
+        "--perturb",
+        action="store_true",
+        help="re-run with adversarially permuted same-timestamp event ordering "
+        "and require byte-identical results (schedule-sensitivity check)",
+    )
+    sanitize.add_argument(
+        "--seeds",
+        type=int,
+        default=3,
+        metavar="N",
+        help="number of permutation seeds for --perturb (default 3)",
+    )
+    sanitize.add_argument(
+        "--write-result",
+        metavar="PATH",
+        default=None,
+        help="with --perturb: write the unperturbed run's rendered result to "
+        "PATH (for golden diffs) and a .json report alongside",
+    )
+
+    cache = sub.add_parser("cache", help="manage the .repro-cache/ result store")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    prune = cache_sub.add_parser(
+        "prune",
+        help="drop old entries: stale source digests accumulate forever otherwise",
+    )
+    prune.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default .repro-cache/)",
+    )
+    prune.add_argument(
+        "--max-size",
+        metavar="SIZE",
+        default=None,
+        help="size cap, oldest entries evicted first (e.g. 64MB; default 256MB "
+        "when no --max-age-days is given)",
+    )
+    prune.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="D",
+        help="also drop entries not written in the last D days",
+    )
+    prune.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without deleting anything",
+    )
     return parser
 
 
@@ -200,6 +281,12 @@ def _split_rules(text: "str | None") -> "list[str] | None":
 
 
 def _cmd_lint(args) -> int:
+    from repro.analysis.baseline import (
+        BaselineError,
+        load_baseline,
+        partition,
+        write_baseline,
+    )
     from repro.analysis.linter import RULE_CATALOG, lint_paths, render_report
 
     if args.rules:
@@ -211,16 +298,96 @@ def _cmd_lint(args) -> int:
         select=_split_rules(args.select),
         ignore=_split_rules(args.ignore),
     )
-    print(render_report(violations))
-    return 1 if violations else 0
+    if args.write_baseline:
+        path = write_baseline(violations, path=args.baseline)
+        print(f"wrote {len(violations)} entr{'y' if len(violations) == 1 else 'ies'} "
+              f"to {path}; fill in each justification")
+        return 0
+
+    matched: list = []
+    stale: list = []
+    if not args.no_baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        # Stale entries are only meaningful on a full-tree run: a partial
+        # lint legitimately misses entries for files it did not visit.
+        violations, matched, stale = partition(violations, entries)
+        if args.paths:
+            stale = []
+
+    if args.sarif is not None:
+        from repro.analysis.export import render_sarif, sarif_report
+
+        text = render_sarif(sarif_report(violations, baseline_matches=matched))
+        if args.sarif == "-":
+            print(text, end="")
+        else:
+            from pathlib import Path
+
+            Path(args.sarif).write_text(text, encoding="utf-8")
+            print(f"[sarif: {args.sarif}]", file=sys.stderr)
+    if args.sarif != "-":
+        print(render_report(violations))
+        for entry in stale:
+            print(
+                f"stale baseline entry: {entry.path}:{entry.line}: {entry.rule} "
+                "no longer fires — delete it"
+            )
+    return 1 if (violations or stale) else 0
 
 
 def _cmd_sanitize(args) -> int:
+    if args.perturb:
+        from repro.analysis.perturb import perturb
+
+        report = perturb(
+            args.experiment,
+            fast=not args.full,
+            seeds=tuple(range(1, max(1, args.seeds) + 1)),
+        )
+        print(report.render())
+        if args.write_result:
+            import json
+            from pathlib import Path
+
+            out = Path(args.write_result)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(report.result_text + "\n", encoding="utf-8")
+            json_path = out.with_suffix(out.suffix + ".perturb.json")
+            json_path.write_text(
+                json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"[result: {out}, report: {json_path}]", file=sys.stderr)
+        return 0 if report.passed else 1
+
     from repro.analysis.sanitizer import sanitize
 
     report = sanitize(args.experiment, fast=not args.full, runs=args.runs)
     print(report.render())
     return 0 if report.deterministic else 1
+
+
+def _cmd_cache(args) -> int:
+    from repro.runner.cache import prune_cache
+    from repro.units import parse_size
+
+    try:
+        max_bytes = parse_size(args.max_size) if args.max_size else None
+    except ValueError as exc:
+        print(f"repro cache prune: {exc}", file=sys.stderr)
+        return 2
+    max_age = args.max_age_days * 86400.0 if args.max_age_days is not None else None
+    report = prune_cache(
+        root=args.root,
+        max_bytes=max_bytes,
+        max_age_seconds=max_age,
+        dry_run=args.dry_run,
+    )
+    print(report.render())
+    return 0
 
 
 def _cmd_explain(args) -> int:
@@ -292,6 +459,8 @@ def main(argv=None) -> int:
         return _cmd_sanitize(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "explain":
         return _cmd_explain(args)
     if args.command == "profile":

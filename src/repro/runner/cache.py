@@ -18,6 +18,8 @@ import hashlib
 import json
 import logging
 import os
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional
 
@@ -123,3 +125,127 @@ class ResultCache:
         tmp.write_text(json.dumps(document, indent=1), encoding="utf-8")
         os.replace(tmp, path)
         return path
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> "PruneReport":
+        """Prune the store (see module-level :func:`prune_cache`)."""
+        return prune_cache(
+            self.root,
+            max_bytes=max_bytes,
+            max_age_seconds=max_age_seconds,
+            dry_run=dry_run,
+        )
+
+
+@dataclass
+class PruneReport:
+    """What a cache prune did (or would do, under ``dry_run``)."""
+
+    root: Path
+    dry_run: bool = False
+    kept: int = 0
+    kept_bytes: int = 0
+    removed: list[Path] = field(default_factory=list)
+    removed_bytes: int = 0
+    #: orphaned write-then-rename temp files cleaned up alongside
+    removed_tmp: int = 0
+
+    def render(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        lines = [
+            f"cache prune {self.root}: {verb} {len(self.removed)} entr"
+            f"{'y' if len(self.removed) == 1 else 'ies'} "
+            f"({self.removed_bytes} bytes), kept {self.kept} "
+            f"({self.kept_bytes} bytes)"
+        ]
+        if self.removed_tmp:
+            lines.append(f"  {verb} {self.removed_tmp} stray .tmp file(s)")
+        for path in self.removed:
+            lines.append(f"  {verb} {path.name}")
+        return "\n".join(lines)
+
+
+#: default size cap for ``repro cache prune`` (256 MiB)
+DEFAULT_CACHE_CAP_BYTES = 256 * 1024 * 1024
+
+
+def prune_cache(
+    root: "Path | str | None" = None,
+    max_bytes: Optional[int] = None,
+    max_age_seconds: Optional[float] = None,
+    dry_run: bool = False,
+) -> PruneReport:
+    """Bound the cache: drop stale-by-age entries, then oldest-first to a
+    size cap.
+
+    The store is content-addressed against the *current* source digest, so
+    every source change strands the previous digest's entries forever —
+    unbounded growth unless pruned.  Eviction is by modification time,
+    oldest first, with the file name as a deterministic tie-break; stray
+    ``*.tmp<pid>`` files from interrupted writes are always removed.  With
+    ``dry_run`` nothing is deleted and the report lists the candidates.
+    """
+    report = PruneReport(
+        root=Path(root) if root is not None else DEFAULT_CACHE_ROOT,
+        dry_run=dry_run,
+    )
+    if not report.root.is_dir():
+        return report
+    if max_bytes is None and max_age_seconds is None:
+        max_bytes = DEFAULT_CACHE_CAP_BYTES
+
+    entries: list[tuple[float, str, Path, int]] = []
+    for path in sorted(report.root.iterdir()):
+        if not path.is_file():
+            continue
+        if ".tmp" in path.suffix:
+            report.removed_tmp += 1
+            if not dry_run:
+                _remove_quietly(path)
+            continue
+        if path.suffix != ".json":
+            continue
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, path.name, path, stat.st_size))
+    entries.sort()  # oldest first; name breaks mtime ties deterministically
+
+    # The prune clock is host wall time by design: cache entry ages are an
+    # operational property of the store, not simulation state.
+    now = time.time()  # repro: noqa=DET002
+    doomed: list[tuple[Path, int]] = []
+    survivors: list[tuple[float, str, Path, int]] = []
+    for entry in entries:
+        mtime, _name, path, size = entry
+        if max_age_seconds is not None and now - mtime > max_age_seconds:
+            doomed.append((path, size))
+        else:
+            survivors.append(entry)
+    if max_bytes is not None:
+        total = sum(size for _, _, _, size in survivors)
+        while survivors and total > max_bytes:
+            mtime, _name, path, size = survivors.pop(0)
+            doomed.append((path, size))
+            total -= size
+
+    for path, size in doomed:
+        report.removed.append(path)
+        report.removed_bytes += size
+        if not dry_run:
+            _remove_quietly(path)
+    report.kept = len(survivors)
+    report.kept_bytes = sum(size for _, _, _, size in survivors)
+    return report
+
+
+def _remove_quietly(path: Path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass  # raced with another pruner: the entry is gone either way

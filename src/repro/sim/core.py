@@ -36,6 +36,32 @@ PENDING = object()  # sentinel: event value not yet decided
 #: truthiness check.
 _TRACE_SINKS: list[Callable[[float, int, int, "Event"], None]] = []
 
+#: Optional tie ranker: maps the monotonically increasing sequence number to
+#: the tie-breaking key actually pushed onto the heap.  ``None`` in normal
+#: operation (FIFO among same-``(time, priority)`` events).  The schedule-
+#: perturbation sanitizer (``repro.analysis.perturb``) installs a seeded
+#: pseudo-random ranker here to prove results do not depend on the incidental
+#: insertion order of same-timestamp events.
+_TIE_RANKER: Optional[Callable[[int], int]] = None
+
+
+@contextmanager
+def tie_ranker(ranker: Optional[Callable[[int], int]]) -> Any:
+    """Install ``ranker`` as the same-timestamp tie-breaker for the block.
+
+    Environments created *and* driven inside the block order equal
+    ``(time, priority)`` events by ``ranker(seq)`` instead of the FIFO
+    sequence number.  Always restores the previous ranker, even when the
+    perturbed experiment raises.
+    """
+    global _TIE_RANKER
+    previous = _TIE_RANKER
+    _TIE_RANKER = ranker
+    try:
+        yield ranker
+    finally:
+        _TIE_RANKER = previous
+
 
 def install_trace_sink(sink: Callable[[float, int, int, "Event"], None]) -> None:
     """Register ``sink`` to observe every scheduled event as it is processed."""
@@ -312,8 +338,19 @@ class Environment:
 
     # -- scheduling ----------------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        if delay < 0:
+            # A negative delay would fire the event in the past: heappop
+            # would hand out a time below ``now``, silently rewinding the
+            # clock for every later observer.  Timeout already rejects
+            # negative delays at its own layer; this guards every other
+            # scheduling path (succeed/fail/interrupt forward 0.0 here).
+            raise ValueError(
+                f"cannot schedule {event!r} with negative delay {delay!r} "
+                f"(now={self._now!r}); events cannot fire in the past"
+            )
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        seq = self._seq if _TIE_RANKER is None else _TIE_RANKER(self._seq)
+        heapq.heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if none)."""

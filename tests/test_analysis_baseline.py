@@ -1,0 +1,169 @@
+"""Suppression baseline and SARIF 2.1.0 export."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineEntry,
+    BaselineError,
+    canonical_path,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from repro.analysis.export import (
+    render_sarif,
+    sarif_report,
+    validate_sarif,
+    write_sarif,
+)
+from repro.analysis.linter import RULE_CATALOG, lint_source
+from repro.analysis.passes.base import Violation
+
+
+def _violation(rule="DET001", line=4, path="src/repro/sim/core.py", snippet="x = 1"):
+    return Violation(path, line, rule, "message", "hint", snippet=snippet)
+
+
+class TestCanonicalPath:
+    def test_strips_to_package(self):
+        assert canonical_path("/a/b/src/repro/sim/core.py") == "repro/sim/core.py"
+
+    def test_non_package_path_passes_through(self):
+        assert canonical_path("fixture.py") == "fixture.py"
+
+
+class TestBaselineMatching:
+    def test_snippet_match_survives_line_drift(self):
+        entry = BaselineEntry(
+            "repro/sim/core.py", "DET001", 4, "x = 1", "accepted for reasons"
+        )
+        assert entry.matches(_violation(line=400))  # same text, moved
+
+    def test_snippet_mismatch_rejected(self):
+        entry = BaselineEntry(
+            "repro/sim/core.py", "DET001", 4, "y = 2", "accepted"
+        )
+        assert not entry.matches(_violation())
+
+    def test_rule_and_path_must_match(self):
+        entry = BaselineEntry(
+            "repro/sim/core.py", "DET002", 4, "x = 1", "accepted"
+        )
+        assert not entry.matches(_violation())
+
+    def test_partition(self):
+        matched_entry = BaselineEntry(
+            "repro/sim/core.py", "DET001", 4, "x = 1", "accepted"
+        )
+        stale_entry = BaselineEntry(
+            "repro/net/fluid.py", "DET006", 9, "gone", "was accepted"
+        )
+        fresh, matched, stale = partition(
+            [_violation(), _violation(rule="DET004")],
+            [matched_entry, stale_entry],
+        )
+        assert [v.rule for v in fresh] == ["DET004"]
+        assert matched == [(_violation(), matched_entry)]
+        assert stale == [stale_entry]
+
+
+class TestBaselineFile:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == []
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([_violation()], path=path, justification="known and fine")
+        (entry,) = load_baseline(path)
+        assert entry.path == "repro/sim/core.py"
+        assert entry.rule == "DET001"
+        assert entry.snippet == "x = 1"
+        assert entry.justification == "known and fine"
+
+    def test_empty_justification_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "entries": [
+                        {"path": "repro/x.py", "rule": "DET001", "justification": "  "}
+                    ],
+                }
+            )
+        )
+        with pytest.raises(BaselineError, match="justification"):
+            load_baseline(path)
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{nope")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": 99, "entries": []}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_checked_in_baseline_is_valid_and_empty(self):
+        # the production tree lints clean; suppressions live as pragmas
+        assert load_baseline() == []
+
+
+class TestSarif:
+    def test_report_validates(self):
+        violations = lint_source("import random\nx = random.random()\n", path="f.py")
+        report = sarif_report(violations)
+        assert validate_sarif(report) == []
+        assert report["version"] == "2.1.0"
+
+    def test_rule_index_resolves(self):
+        violations = lint_source("import random\nx = random.random()\n", path="f.py")
+        report = sarif_report(violations)
+        (result,) = report["runs"][0]["results"]
+        rules = report["runs"][0]["tool"]["driver"]["rules"]
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"] == "DET001"
+
+    def test_all_catalog_rules_exported(self):
+        report = sarif_report([])
+        exported = {r["id"] for r in report["runs"][0]["tool"]["driver"]["rules"]}
+        assert exported == set(RULE_CATALOG)
+
+    def test_snippet_and_location_carried(self):
+        violations = lint_source("import random\nx = random.random()\n", path="f.py")
+        report = sarif_report(violations)
+        (result,) = report["runs"][0]["results"]
+        physical = result["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "f.py"
+        assert physical["region"]["startLine"] == 2
+        assert physical["region"]["snippet"]["text"] == "x = random.random()"
+
+    def test_baseline_matches_become_suppressions(self):
+        violation = _violation()
+        entry = BaselineEntry(
+            "repro/sim/core.py", "DET001", 4, "x = 1", "accepted for reasons"
+        )
+        report = sarif_report([], baseline_matches=[(violation, entry)])
+        (result,) = report["runs"][0]["results"]
+        (suppression,) = result["suppressions"]
+        assert suppression["kind"] == "external"
+        assert suppression["justification"] == "accepted for reasons"
+        assert validate_sarif(report) == []
+
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "lint.sarif"
+        write_sarif(sarif_report([_violation()]), path)
+        loaded = json.loads(path.read_text())
+        assert validate_sarif(loaded) == []
+        assert render_sarif(loaded) == path.read_text()
+
+    def test_validator_rejects_broken_documents(self):
+        assert validate_sarif([]) != []
+        assert validate_sarif({"version": "2.0.0", "runs": []}) != []
+        report = sarif_report([_violation()])
+        report["runs"][0]["results"][0]["ruleIndex"] = 999
+        assert any("ruleIndex" in p for p in validate_sarif(report))

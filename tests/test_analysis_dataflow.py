@@ -1,0 +1,321 @@
+"""Fixtures for the DIM unit-dimension inference pass.
+
+Each rule gets known-bad snippets (must flag exactly that rule) and
+known-good counterparts (must stay silent).  The snippets mirror the
+idioms of net/, tcp/ and mpi/ — ``units.py`` constructors, Size/Rate
+annotations, ``env.now`` arithmetic — because those are the call sites
+the integer-µs event-core migration will rewrite.
+"""
+
+import textwrap
+
+from repro.analysis.dataflow import (
+    BITS,
+    BPS,
+    BYTES,
+    SECONDS,
+    USEC,
+    classify_mix,
+)
+from repro.analysis.linter import lint_source
+
+
+def rules_of(source):
+    return [v.rule for v in lint_source(textwrap.dedent(source))]
+
+
+class TestDimSeeding:
+    def test_constructor_call_seeds(self):
+        # usec() returns seconds; adding a byte count is a DIM001 mix
+        assert rules_of(
+            """
+            from repro.units import usec, kb
+
+            def f():
+                t = usec(58)
+                return t + kb(64)
+            """
+        ) == ["DIM001"]
+
+    def test_annotation_seeds(self):
+        assert rules_of(
+            """
+            from repro.units import Rate, Size
+
+            def f(rate: Rate, size: Size):
+                return rate + size
+            """
+        ) == ["DIM001"]
+
+    def test_parameter_name_seeds(self):
+        assert rules_of(
+            """
+            def f(nbytes, rtt_seconds):
+                return nbytes + rtt_seconds
+            """
+        ) == ["DIM001"]
+
+    def test_module_constant_seeds_functions(self):
+        # a module-level constant's dimension is visible inside functions
+        assert rules_of(
+            """
+            from repro.units import usec, kb
+
+            STACK_DELAY = usec(12)
+
+            def f():
+                return STACK_DELAY + kb(4)
+            """
+        ) == ["DIM001"]
+
+    def test_env_now_is_seconds(self):
+        assert rules_of(
+            """
+            from repro.units import kb
+
+            def f(env):
+                return env.now + kb(1)
+            """
+        ) == ["DIM001"]
+
+    def test_unknown_operands_stay_silent(self):
+        assert rules_of(
+            """
+            def f(a, b):
+                return a + b
+            """
+        ) == []
+
+
+class TestDimPropagation:
+    def test_dimension_flows_through_assignment(self):
+        assert rules_of(
+            """
+            from repro.units import usec, kb
+
+            def f():
+                t = usec(58)
+                u = t
+                v = u
+                return v + kb(64)
+            """
+        ) == ["DIM001"]
+
+    def test_branch_join_conflicting_dims_become_unknown(self):
+        # x is seconds on one path, bytes on the other: the join is
+        # unknown, so downstream arithmetic must stay silent
+        assert rules_of(
+            """
+            from repro.units import usec, kb
+
+            def f(flag):
+                if flag:
+                    x = usec(1)
+                else:
+                    x = kb(1)
+                return x + 1
+            """
+        ) == []
+
+    def test_scaling_by_literal_keeps_dimension(self):
+        assert rules_of(
+            """
+            from repro.units import usec, kb
+
+            def f():
+                t = usec(58) * 2
+                return t + kb(64)
+            """
+        ) == ["DIM001"]
+
+    def test_transfer_time_division_is_seconds(self):
+        # bits / bits-per-second is a time: adding it to seconds is fine
+        assert rules_of(
+            """
+            from repro.units import Mbps, kb, usec
+
+            def f():
+                t = (kb(64) * 8) / Mbps(100)
+                return t + usec(58)
+            """
+        ) == []
+
+
+class TestTimeScaleMixing:
+    def test_seconds_plus_usec_flagged(self):
+        assert rules_of(
+            """
+            from repro.units import usec, to_usec
+
+            def f(x):
+                return usec(58) + to_usec(x)
+            """
+        ) == ["DIM002"]
+
+    def test_usec_delay_slot_flagged(self):
+        # passing a µs count where timeout() expects seconds
+        assert rules_of(
+            """
+            from repro.units import to_usec
+
+            def f(env, x):
+                yield env.timeout(to_usec(x))
+            """
+        ) == ["DIM002"]
+
+    def test_converted_delay_not_flagged(self):
+        assert rules_of(
+            """
+            from repro.units import usec
+
+            def f(env):
+                yield env.timeout(usec(58))
+            """
+        ) == []
+
+
+class TestDataScaleMixing:
+    def test_bytes_plus_bits_flagged(self):
+        assert rules_of(
+            """
+            from repro.units import kb
+
+            def f():
+                size = kb(64)
+                bits = size * 8
+                return size + bits
+            """
+        ) == ["DIM003"]
+
+    def test_bytes_divided_by_bps_flagged(self):
+        # the classic missing *8: bytes / (bits/s)
+        assert rules_of(
+            """
+            from repro.units import kb, Mbps
+
+            def f():
+                return kb(64) / Mbps(100)
+            """
+        ) == ["DIM003"]
+
+    def test_bits_divided_by_bps_not_flagged(self):
+        assert rules_of(
+            """
+            from repro.units import kb, Mbps
+
+            def f():
+                return (kb(64) * 8) / Mbps(100)
+            """
+        ) == []
+
+    def test_bits_to_bytes_division_not_flagged(self):
+        assert rules_of(
+            """
+            from repro.units import kb
+
+            def f(nbits):
+                nbytes = nbits / 8
+                return nbytes + kb(1)
+            """
+        ) == []
+
+
+class TestAmbiguousReturn:
+    def test_mixed_return_dimensions_flagged(self):
+        assert rules_of(
+            """
+            from repro.units import usec, kb
+
+            def f(flag):
+                if flag:
+                    return usec(1)
+                return kb(1)
+            """
+        ) == ["DIM004"]
+
+    def test_consistent_returns_not_flagged(self):
+        assert rules_of(
+            """
+            from repro.units import usec, msec
+
+            def f(flag):
+                if flag:
+                    return usec(1)
+                return msec(2)
+            """
+        ) == []
+
+
+class TestNegativeDelay:
+    def test_literal_negative_delay_flagged(self):
+        assert rules_of(
+            """
+            def f(env):
+                yield env.timeout(-1)
+            """
+        ) == ["DIM005"]
+
+    def test_negative_float_delay_flagged(self):
+        assert rules_of(
+            """
+            def f(env):
+                yield env.timeout(-0.5)
+            """
+        ) == ["DIM005"]
+
+    def test_zero_and_positive_delays_not_flagged(self):
+        assert rules_of(
+            """
+            def f(env):
+                yield env.timeout(0.5)
+            """
+        ) == []
+
+    def test_negative_delay_keyword_flagged(self):
+        assert rules_of(
+            """
+            def f(env):
+                yield env.timeout(delay=-2)
+            """
+        ) == ["DIM005"]
+
+
+class TestDimFalsePositiveGuards:
+    def test_per_byte_factor_absorbs_dimension(self):
+        # nbytes * per_byte_overhead is a time, not a byte count — the
+        # per_* spelling marks a dimension-changing ratio
+        assert rules_of(
+            """
+            def f(env, impl, nbytes):
+                setup = impl.latency_overhead(False) + nbytes * impl.per_byte_overhead
+                yield env.timeout(setup)
+            """
+        ) == []
+
+    def test_comparison_across_dimensions_flagged(self):
+        assert rules_of(
+            """
+            from repro.units import usec, kb
+
+            def f():
+                return usec(1) < kb(1)
+            """
+        ) == ["DIM001"]
+
+    def test_pragma_suppresses_dim(self):
+        assert rules_of(
+            """
+            from repro.units import usec, kb
+
+            def f():
+                return usec(58) + kb(64)  # repro: noqa=DIM001
+            """
+        ) == []
+
+
+class TestClassifyMix:
+    def test_families(self):
+        assert classify_mix(SECONDS, USEC) == "time-scale"
+        assert classify_mix(BYTES, BITS) == "data-scale"
+        assert classify_mix(SECONDS, BYTES) == "mix"
+        assert classify_mix(BPS, BYTES) == "mix"

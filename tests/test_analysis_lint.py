@@ -331,6 +331,128 @@ class TestSimRules:
 
 
 # ---------------------------------------------------------------------------
+# pragma handling: # repro: noqa=..., function scope, staleness
+# ---------------------------------------------------------------------------
+class TestPragmas:
+    def test_repro_noqa_spelling_suppresses(self):
+        assert rules_of(
+            """
+            import random
+
+            def jitter():
+                return random.random()  # repro: noqa=DET001
+            """
+        ) == []
+
+    def test_multi_rule_comma_list(self):
+        # one pragma, two rules firing on the same line: both suppressed
+        assert rules_of(
+            """
+            import random, time
+
+            def f():
+                return random.random() + time.time()  # repro: noqa=DET001,DET002
+            """
+        ) == []
+
+    def test_comma_list_leaves_other_rules_alone(self):
+        assert rules_of(
+            """
+            import random, os
+
+            def f():
+                return (random.random(), os.urandom(4))  # repro: noqa=DET001,DET002
+            """
+        ) == ["DET004", "NOQA001"]  # DET002 in the list never fires -> stale
+
+    def test_function_scope_pragma_on_def_line(self):
+        # pragma on the def line covers the whole body
+        assert rules_of(
+            """
+            import random
+
+            def jitter():  # repro: noqa=DET001
+                a = random.random()
+                b = random.random()
+                return a + b
+            """
+        ) == []
+
+    def test_function_scope_pragma_on_decorator_line(self):
+        assert rules_of(
+            """
+            import functools
+            import random
+
+            @functools.lru_cache  # repro: noqa=DET001
+            def jitter():
+                return random.random()
+            """
+        ) == []
+
+    def test_function_scope_pragma_does_not_leak_past_function(self):
+        assert rules_of(
+            """
+            import random
+
+            def covered():  # repro: noqa=DET001
+                return random.random()
+
+            def uncovered():
+                return random.random()
+            """
+        ) == ["DET001"]
+
+    def test_stale_pragma_reported(self):
+        # the pragma'd rule never fires: the pragma itself is the finding
+        violations = lint_source(
+            textwrap.dedent(
+                """
+                def clean():
+                    return 1  # repro: noqa=DET001
+                """
+            )
+        )
+        assert [v.rule for v in violations] == ["NOQA001"]
+        assert "DET001" in violations[0].message
+
+    def test_unknown_rule_pragma_reported(self):
+        violations = lint_source("x = 1  # repro: noqa=NOPE999\n")
+        assert [v.rule for v in violations] == ["NOQA001"]
+        assert "unknown rule" in violations[0].message
+
+    def test_stale_check_skipped_for_passes_that_did_not_run(self):
+        # a DET pragma cannot be judged stale when only UNIT rules ran
+        from repro.analysis.passes import UnitSafetyPass
+
+        linter = Linter(passes=[UnitSafetyPass])
+        assert linter.lint_source("x = 1  # repro: noqa=DET001\n") == []
+
+    def test_used_pragma_not_stale_under_select(self):
+        # select narrows the *report*; a pragma whose rule fires is used
+        # even when that rule is deselected
+        source = textwrap.dedent(
+            """
+            import random
+
+            def f():
+                return random.random()  # repro: noqa=DET001
+            """
+        )
+        assert Linter(select=["NOQA001"]).lint_source(source) == []
+
+    def test_legacy_spelling_still_works(self):
+        assert rules_of(
+            """
+            import random
+
+            def f():
+                return random.random()  # lint: disable=DET001
+            """
+        ) == []
+
+
+# ---------------------------------------------------------------------------
 # driver behaviour
 # ---------------------------------------------------------------------------
 class TestDriver:
@@ -370,6 +492,9 @@ class TestDriver:
             "DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
             "UNIT001", "UNIT002", "UNIT003",
             "SIM001", "SIM002", "SIM003",
+            "DIM001", "DIM002", "DIM003", "DIM004", "DIM005",
+            "SCHED001", "SCHED002", "SCHED003",
+            "NOQA001",
         }
         assert set(RULE_CATALOG) == expected
 

@@ -1,0 +1,154 @@
+"""Schedule-perturbation sanitizer: adversarial same-timestamp reordering.
+
+The central claims under test:
+
+* a schedule-*insensitive* fixture (and a real experiment) survives
+  permuted tie-breaking with a byte-identical result and a stable
+  schedule projection;
+* a deliberately schedule-*sensitive* fixture — whose result encodes the
+  order in which same-timestamp processes ran — is caught;
+* the permutation itself is deterministic per seed (the whole point of a
+  *seeded* adversary: failures replay).
+"""
+
+import pytest
+
+from repro.analysis.perturb import (
+    PerturbReport,
+    ScheduleProjection,
+    perturb,
+    perturbation_ranker,
+)
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult
+from repro.sim.core import Environment
+
+
+def _result(experiment_id, value):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=experiment_id,
+        paper_ref="fixture",
+        rows=[{"value": value}],
+        text=f"{experiment_id}: {value}",
+    )
+
+
+def insensitive_experiment(fast=True):
+    """Same-time processes whose combined result is order-independent."""
+    env = Environment()
+    acc = []
+
+    def worker(value):
+        yield env.timeout(1.0)
+        acc.append(value)
+
+    for i in range(6):
+        env.process(worker(i), name=f"worker{i}")
+    env.run()
+    return _result("insensitive", sum(acc))
+
+
+def sensitive_experiment(fast=True):
+    """Same-time processes whose result encodes their execution *order* —
+    exactly the tie-break dependence SCHED001 warns about."""
+    env = Environment()
+    order = []
+
+    def worker(tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abcdef":
+        env.process(worker(tag), name=f"worker_{tag}")
+    env.run()
+    return _result("sensitive", "".join(order))
+
+
+class TestPerturbationRanker:
+    def test_deterministic_per_seed(self):
+        a = perturbation_ranker(7)
+        b = perturbation_ranker(7)
+        assert [a(i) for i in range(10)] == [b(i) for i in range(10)]
+
+    def test_seeds_differ(self):
+        a = perturbation_ranker(1)
+        b = perturbation_ranker(2)
+        assert [a(i) for i in range(10)] != [b(i) for i in range(10)]
+
+    def test_original_seq_is_final_tiebreak(self):
+        # the low 32 bits carry the original sequence number
+        rank = perturbation_ranker(3)
+        assert rank(42) & 0xFFFFFFFF == 42
+
+
+class TestScheduleProjection:
+    class _Proc:
+        # mimics sim.core.Process for the sink's type-name check
+        def __init__(self, name):
+            self.name = name
+
+    _Proc.__name__ = "Process"
+
+    def _feed(self, events):
+        sink = ScheduleProjection()
+        for time, name in events:
+            sink(time, 1, 0, self._Proc(name))
+        return sink.hexdigest()
+
+    def test_within_timestamp_order_ignored(self):
+        a = self._feed([(1.0, "x"), (1.0, "y"), (2.0, "z")])
+        b = self._feed([(1.0, "y"), (1.0, "x"), (2.0, "z")])
+        assert a == b
+
+    def test_across_timestamp_order_matters(self):
+        a = self._feed([(1.0, "x"), (2.0, "y")])
+        b = self._feed([(1.0, "y"), (2.0, "x")])
+        assert a != b
+
+    def test_private_processes_excluded(self):
+        a = self._feed([(1.0, "x")])
+        b = self._feed([(1.0, "x"), (1.0, "_deliver")])
+        assert a == b
+
+    def test_non_process_events_excluded(self):
+        sink = ScheduleProjection()
+        sink(1.0, 1, 0, object())
+        assert sink.events == 0
+
+
+class TestPerturb:
+    def test_insensitive_fixture_passes(self):
+        report = perturb(insensitive_experiment, seeds=(1, 2, 3))
+        assert report.passed, report.render()
+        assert "PASS" in report.render()
+        assert all(run.events == report.baseline_events for run in report.runs)
+
+    def test_sensitive_fixture_caught(self):
+        report = perturb(sensitive_experiment, seeds=(1, 2, 3))
+        assert not report.passed, report.render()
+        assert "FAIL" in report.render()
+        # at least one seed produced a different completion order
+        assert any(not run.result_identical for run in report.runs)
+
+    def test_sensitive_failure_is_reproducible(self):
+        first = perturb(sensitive_experiment, seeds=(1,))
+        second = perturb(sensitive_experiment, seeds=(1,))
+        assert first.runs[0].result_identical == second.runs[0].result_identical
+
+    def test_needs_a_seed(self):
+        with pytest.raises(ExperimentError):
+            perturb(insensitive_experiment, seeds=())
+
+    def test_report_serialises(self):
+        report = perturb(insensitive_experiment, seeds=(1,))
+        payload = report.to_dict()
+        assert payload["passed"] is True
+        assert payload["runs"][0]["seed"] == 1
+        assert isinstance(report, PerturbReport)
+
+    def test_fig3_survives_perturbation(self):
+        """Acceptance criterion stand-in for the CI fig7/faults_pingpong
+        smoke: a real experiment, byte-identical under 3 seeds."""
+        report = perturb("fig3", fast=True, seeds=(1, 2, 3))
+        assert report.passed, report.render()

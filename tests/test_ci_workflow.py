@@ -118,3 +118,34 @@ def test_fast_goldens_exist_for_the_ci_diff():
     from repro.experiments import EXPERIMENTS
 
     assert committed == sorted(f"{eid}.txt" for eid in EXPERIMENTS)
+
+
+def test_check_job_exports_and_uploads_sarif(workflow):
+    check = workflow["jobs"]["check"]
+    commands = _run_commands(check)
+    # findings are exported as a SARIF log and structurally validated...
+    assert "repro lint --sarif lint-results.sarif" in commands
+    assert "validate_sarif" in commands
+    # ...and uploaded as a workflow artifact (fail loudly if missing)
+    upload = next(
+        step for step in check["steps"] if "upload-artifact" in step.get("uses", "")
+    )
+    assert upload["with"]["path"] == "lint-results.sarif"
+    assert upload["with"]["if-no-files-found"] == "error"
+
+
+def test_experiments_job_runs_the_perturbation_smoke(workflow):
+    experiments = workflow["jobs"]["experiments"]
+    commands = _run_commands(experiments)
+    # both smoke targets run under permuted same-timestamp ordering...
+    assert "repro sanitize" in commands and "--perturb" in commands
+    assert "fig7" in commands and "faults_pingpong" in commands
+    assert "--seeds 3" in commands
+    # ...and the unperturbed result is diffed byte-for-byte against the
+    # committed golden (wall-time footer stripped on the golden side)
+    assert "--write-result" in commands
+    assert "head -n -2" in commands
+    uploads = [
+        step for step in experiments["steps"] if "upload-artifact" in step.get("uses", "")
+    ]
+    assert any("perturb" in step["with"]["path"] for step in uploads)

@@ -87,3 +87,89 @@ def test_version(capsys):
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_lint_rules_catalog_lists_all_families(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("DET001", "UNIT001", "SIM001", "DIM001", "SCHED001", "NOQA001"):
+        assert rule in out
+
+
+def test_lint_clean_file_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(x):\n    return x + 1\n")
+    assert main(["lint", str(clean)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_dirty_file_exits_one(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\nx = random.random()\n")
+    assert main(["lint", str(dirty)]) == 1
+    assert "DET001" in capsys.readouterr().out
+
+
+def test_lint_sarif_stdout_is_valid(tmp_path, capsys):
+    import json as _json
+
+    from repro.analysis import validate_sarif
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\nx = random.random()\n")
+    # --sarif with no value streams the log to stdout
+    assert main(["lint", str(dirty), "--sarif"]) == 1
+    report = _json.loads(capsys.readouterr().out)
+    assert validate_sarif(report) == []
+    assert [r["ruleId"] for r in report["runs"][0]["results"]] == ["DET001"]
+
+
+def test_lint_sarif_to_file(tmp_path, capsys):
+    import json as _json
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\nx = random.random()\n")
+    out = tmp_path / "lint.sarif"
+    assert main(["lint", "--sarif", str(out), str(dirty)]) == 1
+    assert _json.loads(out.read_text())["version"] == "2.1.0"
+
+
+def test_lint_write_then_apply_baseline(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\nx = random.random()\n")
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", "--baseline", str(baseline), "--write-baseline", str(dirty)]) == 0
+    capsys.readouterr()
+    # the finding is now suppressed by the baseline...
+    assert main(["lint", "--baseline", str(baseline), str(dirty)]) == 0
+    assert "clean" in capsys.readouterr().out
+    # ...but --no-baseline still reports it
+    assert main(["lint", "--baseline", str(baseline), "--no-baseline", str(dirty)]) == 1
+
+
+def test_sanitize_perturb_passes_on_real_experiment(tmp_path, capsys):
+    out = tmp_path / "fig3.txt"
+    assert main(
+        ["sanitize", "fig3", "--perturb", "--seeds", "2", "--write-result", str(out)]
+    ) == 0
+    assert "PASS" in capsys.readouterr().out
+    assert out.read_text().endswith("\n")
+    import json as _json
+
+    report = _json.loads((tmp_path / "fig3.txt.perturb.json").read_text())
+    assert report["passed"] is True
+    assert [run["seed"] for run in report["runs"]] == [1, 2]
+
+
+def test_cache_prune_cli(tmp_path, capsys):
+    root = tmp_path / "cache"
+    root.mkdir()
+    (root / "entry.json").write_text("x" * 64)
+    assert main(["cache", "prune", "--root", str(root), "--max-size", "0"]) == 0
+    assert "removed 1 entry" in capsys.readouterr().out
+    assert not (root / "entry.json").exists()
+
+
+def test_cache_prune_bad_size_exits_two(capsys):
+    assert main(["cache", "prune", "--max-size", "banana"]) == 2
+    assert "size" in capsys.readouterr().err.lower()

@@ -462,3 +462,73 @@ def test_manifest_records_serial_and_parallel_runs(tmp_path, tiny):
     assert [entry["jobs"] for entry in document["runs"]] == [1, 8]
     for entry in document["runs"]:
         assert entry["ok"] and "tiny" in entry["experiments"]
+
+
+# --- cache pruning ----------------------------------------------------------------
+def _seed_cache_entry(root, name, *, size=100, age=0.0):
+    root.mkdir(exist_ok=True)
+    path = root / f"{name}.json"
+    path.write_text("x" * size)
+    stamp = time.time() - age
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+def test_prune_size_cap_evicts_oldest_first(tmp_path):
+    from repro.runner.cache import prune_cache
+
+    old = _seed_cache_entry(tmp_path, "old", age=300)
+    mid = _seed_cache_entry(tmp_path, "mid", age=200)
+    new = _seed_cache_entry(tmp_path, "new", age=100)
+    report = prune_cache(tmp_path, max_bytes=250)
+    assert report.removed == [old]
+    assert not old.exists() and mid.exists() and new.exists()
+    assert report.kept == 2 and report.kept_bytes == 200
+
+
+def test_prune_max_age(tmp_path):
+    from repro.runner.cache import prune_cache
+
+    stale = _seed_cache_entry(tmp_path, "stale", age=7200)
+    fresh = _seed_cache_entry(tmp_path, "fresh", age=60)
+    report = prune_cache(tmp_path, max_age_seconds=3600)
+    assert report.removed == [stale]
+    assert not stale.exists() and fresh.exists()
+
+
+def test_prune_always_removes_stray_tmp_files(tmp_path):
+    from repro.runner.cache import prune_cache
+
+    kept = _seed_cache_entry(tmp_path, "kept")
+    stray = tmp_path / "entry.json.tmp1234"
+    stray.write_text("partial write")
+    report = prune_cache(tmp_path, max_bytes=10**9)
+    assert report.removed_tmp == 1
+    assert not stray.exists() and kept.exists()
+
+
+def test_prune_dry_run_deletes_nothing(tmp_path):
+    from repro.runner.cache import prune_cache
+
+    old = _seed_cache_entry(tmp_path, "old", age=300)
+    _seed_cache_entry(tmp_path, "new", age=100)
+    report = prune_cache(tmp_path, max_bytes=150, dry_run=True)
+    assert report.dry_run and report.removed == [old]
+    assert old.exists()
+    assert "would remove" in report.render()
+
+
+def test_prune_missing_root_is_a_noop(tmp_path):
+    from repro.runner.cache import prune_cache
+
+    report = prune_cache(tmp_path / "absent")
+    assert report.removed == [] and report.kept == 0
+
+
+def test_result_cache_prune_wrapper(tmp_path, tiny):
+    cache = ResultCache(root=tmp_path, digest="digest-a")
+    run_campaign([ExperimentSpec(tiny, fast=True)], cache=cache)
+    assert any(tmp_path.glob("*.json"))
+    report = cache.prune(max_bytes=0)
+    assert report.kept == 0
+    assert not any(tmp_path.glob("*.json"))

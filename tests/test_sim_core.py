@@ -340,3 +340,44 @@ def test_determinism_two_runs_identical():
         return trace
 
     assert build_and_run() == build_and_run()
+
+
+def test_schedule_negative_delay_raises_value_error():
+    # Timeout already rejects negative delays at construction; the engine's
+    # own _schedule must too, so no other event type can fire in the past.
+    env = Environment()
+    event = env.event()
+    with pytest.raises(ValueError, match="negative delay"):
+        env._schedule(event, 1, -0.5)
+
+
+def test_tie_ranker_permutes_same_time_events():
+    from repro.sim.core import tie_ranker
+
+    def run(ranker):
+        env = Environment()
+        trace = []
+
+        def proc(name):
+            # runs when the process-start event pops: one scheduling layer,
+            # so the tie-break order is directly observable
+            trace.append(name)
+            yield env.timeout(1.0)
+
+        with tie_ranker(ranker):
+            for name in "abcde":
+                env.process(proc(name))
+            env.run()
+        return trace
+
+    assert run(None) == list("abcde")
+    # reversing the tie-break key reverses same-timestamp start order
+    assert run(lambda seq: -seq) == list("edcba")
+
+
+def test_tie_ranker_restored_after_block():
+    from repro.sim import core
+
+    with core.tie_ranker(lambda seq: -seq):
+        assert core._TIE_RANKER is not None
+    assert core._TIE_RANKER is None

@@ -138,12 +138,23 @@ class PerturbReport:
     baseline_projection: str = ""
     baseline_events: int = 0
     result_text: str = ""
+    #: when False, only rendered-result byte-identity is required; the
+    #: schedule projection is reported but not gating.  For experiments
+    #: whose *timing tail* legitimately depends on same-timestamp order
+    #: (table6/table7's merge phase: whether a recv posted at the same
+    #: instant an eager envelope arrives beats it decides an unexpected-
+    #: queue copy) while every rendered number stays byte-stable.
+    require_projection: bool = True
     runs: List[PerturbRun] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
         return all(
-            run.result_identical and run.projection == self.baseline_projection
+            run.result_identical
+            and (
+                not self.require_projection
+                or run.projection == self.baseline_projection
+            )
             for run in self.runs
         )
 
@@ -155,19 +166,30 @@ class PerturbReport:
         ]
         for run in self.runs:
             schedule_ok = run.projection == self.baseline_projection
-            verdict = "ok" if (schedule_ok and run.result_identical) else "DIVERGED"
+            gating_ok = run.result_identical and (
+                schedule_ok or not self.require_projection
+            )
+            verdict = "ok" if gating_ok else "DIVERGED"
             detail = []
             if not schedule_ok:
-                detail.append(f"projection {run.projection}")
+                detail.append(
+                    f"projection {run.projection}"
+                    + ("" if self.require_projection else " (not gating)")
+                )
             if not run.result_identical:
                 detail.append("result text differs")
             suffix = f" ({'; '.join(detail)})" if detail else ""
             lines.append(
                 f"  seed {run.seed}: {run.events} public events, {verdict}{suffix}"
             )
+        contract = (
+            "results byte-identical under adversarial tie-breaking"
+            if not self.require_projection
+            else "results byte-identical under adversarial tie-breaking, "
+            "schedule projection stable"
+        )
         lines.append(
-            "PASS (schedule-insensitive: results byte-identical under "
-            "adversarial tie-breaking)"
+            f"PASS (schedule-insensitive: {contract})"
             if self.passed
             else "FAIL (behaviour depends on same-timestamp event ordering)"
         )
@@ -179,6 +201,7 @@ class PerturbReport:
             "fast": self.fast,
             "baseline_projection": self.baseline_projection,
             "baseline_events": self.baseline_events,
+            "require_projection": self.require_projection,
             "passed": self.passed,
             "runs": [
                 {
@@ -195,6 +218,13 @@ class PerturbReport:
 def _run_projected(
     runner: Callable, fast: bool, ranker: Optional[Callable[[int], int]]
 ) -> "tuple[str, int, str]":
+    # A warm experiment memo (table6/table7's shared ray2mesh runs) would
+    # satisfy the perturbed run without replaying the simulation, leaving an
+    # empty projection that "diverges" from the cold baseline.  Every
+    # projected run starts cold so the perturbation actually executes.
+    from repro.experiments.registry import clear_memos
+
+    clear_memos()
     projection = ScheduleProjection()
     with trace_capture(hasher=projection), tie_ranker(ranker):
         result = runner(fast=fast)
@@ -206,13 +236,20 @@ def perturb(
     experiment: "str | Callable",
     fast: bool = True,
     seeds: Sequence[int] = (1, 2, 3),
+    require_projection: bool = True,
 ) -> PerturbReport:
     """Run ``experiment`` unperturbed, then once per seed with permuted
-    same-timestamp ordering; compare projections and rendered results."""
+    same-timestamp ordering; compare projections and rendered results.
+
+    ``require_projection=False`` relaxes the gate to rendered-result
+    byte-identity only (see :attr:`PerturbReport.require_projection`).
+    """
     if not seeds:
         raise ExperimentError("perturb needs at least one seed")
     experiment_id, runner = _resolve_runner(experiment)
-    report = PerturbReport(experiment_id=experiment_id, fast=fast)
+    report = PerturbReport(
+        experiment_id=experiment_id, fast=fast, require_projection=require_projection
+    )
     report.baseline_projection, report.baseline_events, report.result_text = (
         _run_projected(runner, fast, None)
     )

@@ -239,6 +239,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --perturb: write the unperturbed run's rendered result to "
         "PATH (for golden diffs) and a .json report alongside",
     )
+    sanitize.add_argument(
+        "--result-only",
+        action="store_true",
+        help="with --perturb: gate on rendered-result byte-identity only, "
+        "reporting (but not failing on) schedule-projection drift — for "
+        "experiments whose timing tail legitimately depends on "
+        "same-timestamp matching order (table6/table7)",
+    )
 
     cache = sub.add_parser("cache", help="manage the .repro-cache/ result store")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -347,6 +355,7 @@ def _cmd_sanitize(args) -> int:
             args.experiment,
             fast=not args.full,
             seeds=tuple(range(1, max(1, args.seeds) + 1)),
+            require_projection=not args.result_only,
         )
         print(report.render())
         if args.write_result:

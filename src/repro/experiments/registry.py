@@ -69,6 +69,21 @@ def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
     return get_experiment(experiment_id)(fast=fast)
 
 
+def clear_memos() -> None:
+    """Drop every experiment module's in-process memo (``clear_memo`` hook).
+
+    The sanitizers call this before each instrumented run: a warm memo
+    replays no simulation, so a trace or schedule projection captured over
+    a memo hit would be vacuously empty and diverge from a cold run's
+    (see ``table6.ray2mesh_results``).  Campaign runners never call this —
+    serial table7 reusing table6's memo is intentional.
+    """
+    for module in MODULES.values():
+        clear = getattr(module, "clear_memo", None)
+        if clear is not None:
+            clear()
+
+
 @dataclass(frozen=True)
 class ShardPlan:
     """Shard decomposition of one experiment (see repro.experiments.base)."""

@@ -23,6 +23,11 @@ PAPER = {
 _cache: dict[tuple, object] = {}
 
 
+def clear_memo() -> None:
+    """Sanitizer hook (see ``registry.clear_memos``): force cold site runs."""
+    _cache.clear()
+
+
 @dataclass(frozen=True)
 class Ray2MeshSummary:
     """The slice of a ray2mesh run that Tables 6 and 7 consume."""

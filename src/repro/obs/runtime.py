@@ -72,6 +72,21 @@ def _labels_key(labels: dict) -> tuple:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def metric_key(name: str, **labels: Any) -> tuple:
+    """Precompute the registry key for a metric name + label set.
+
+    Hot instrumentation sites (one `tcp.transfers` count per message, one
+    `tcp.window_rounds` count per RTT) burn most of their telemetry budget
+    stringifying and sorting the same one-label dict millions of times.
+    Computing the key once at setup and recording through
+    :meth:`TelemetrySession.count_key` / :meth:`~TelemetrySession.observe_key`
+    leaves only a dict upsert on the hot path.  The key is exactly what the
+    ``**labels`` forms produce, so handle-recorded and label-recorded
+    metrics aggregate together.
+    """
+    return (name, _labels_key(labels))
+
+
 def _hist_bin(value: float) -> int:
     """Power-of-two floor bin (0 for values below 1)."""
     v = int(value)
@@ -83,7 +98,7 @@ def _hist_bin(value: float) -> int:
 class TrackData:
     """Everything recorded under one track name."""
 
-    __slots__ = ("events", "counters", "gauges", "histograms", "sim_steps")
+    __slots__ = ("events", "counters", "gauges", "histograms", "sample_countdown")
 
     def __init__(self) -> None:
         #: event records, in record (= simulation) order:
@@ -94,11 +109,14 @@ class TrackData:
         self.counters: dict[tuple, float] = {}
         self.gauges: dict[tuple, float] = {}
         self.histograms: dict[tuple, dict[int, int]] = {}
-        #: queue-depth sampling position.  Per *track*, not per session:
-        #: a serial campaign (one session, many tracks) and a parallel one
-        #: (one session per shard) then sample at the same offsets, which
-        #: the serial==parallel export byte-identity contract relies on.
-        self.sim_steps = 0
+        #: steps until the next queue-depth sample (counts down from
+        #: :data:`SIM_SAMPLE_EVERY`, so samples land on the same every-Nth
+        #: step positions as the old modulo scheme at a decrement's cost).
+        #: Per *track*, not per session: a serial campaign (one session,
+        #: many tracks) and a parallel one (one session per shard) then
+        #: sample at the same offsets, which the serial==parallel export
+        #: byte-identity contract relies on.
+        self.sample_countdown = SIM_SAMPLE_EVERY
 
     @property
     def empty(self) -> bool:
@@ -168,8 +186,11 @@ class TelemetrySession:
     def sim_step(self, now: float, queue_depth: int) -> None:
         """Called by ``Environment.step``; samples the queue depth sparsely."""
         current = self._current
-        current.sim_steps += 1
-        if current.sim_steps % SIM_SAMPLE_EVERY == 0:
+        remaining = current.sample_countdown - 1
+        if remaining:
+            current.sample_countdown = remaining
+        else:
+            current.sample_countdown = SIM_SAMPLE_EVERY
             current.events.append(
                 ("C", now, 0.0, "sim.queue_depth", "", "sim", float(queue_depth))
             )
@@ -179,6 +200,20 @@ class TelemetrySession:
         key = (name, _labels_key(labels))
         counters = self._current.counters
         counters[key] = counters.get(key, 0.0) + inc
+
+    def count_key(self, key: tuple, inc: float = 1.0) -> None:
+        """Like :meth:`count` with a :func:`metric_key` precomputed key."""
+        counters = self._current.counters
+        counters[key] = counters.get(key, 0.0) + inc
+
+    def observe_key(self, key: tuple, value: float) -> None:
+        """Like :meth:`observe` with a :func:`metric_key` precomputed key."""
+        hists = self._current.histograms
+        hist = hists.get(key)
+        if hist is None:
+            hist = hists[key] = {}
+        b = _hist_bin(value)
+        hist[b] = hist.get(b, 0) + 1
 
     def gauge(self, name: str, value: float, **labels: Any) -> None:
         self._current.gauges[(name, _labels_key(labels))] = float(value)

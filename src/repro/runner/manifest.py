@@ -50,6 +50,14 @@ def campaign_entry(campaign: "CampaignResult", label: str = "") -> dict[str, Any
                 "wall_s": round(run.wall_s, 3),
                 "trace_mode": run.trace_mode,
                 "trace_hash": run.trace_hash,
+                # Experiments that consumed the same shards / memoised
+                # work: their wall_s figures overlap (sharded) or this
+                # run's ~0 wall_s reused theirs (serial).
+                **(
+                    {"shared_with": run.shared_with}
+                    if run.shared_with
+                    else {}
+                ),
             }
             for run in campaign.runs
         },

@@ -115,6 +115,12 @@ class ExperimentRun:
     #: aggregate worker seconds (for a sharded run: the sum over its
     #: shards, including shards shared with other experiments)
     wall_s: float = 0.0
+    #: other experiment ids this run shared work with (tables 6/7 share
+    #: the four ray2mesh runs): for a sharded run, experiments consuming
+    #: at least one common shard (whose wall time is counted in *both*
+    #: ``wall_s`` figures); for a serial run, experiments whose in-process
+    #: memo this run reused (which is why its own ``wall_s`` can be ~0).
+    shared_with: list[str] = field(default_factory=list)
     text: str = ""
     rows: list = field(default_factory=list)
     title: str = ""
@@ -138,6 +144,7 @@ class ExperimentRun:
             "ok": self.ok,
             "sharded": self.sharded,
             "wall_s": round(self.wall_s, 3),
+            "shared_with": self.shared_with,
             "trace_hash": self.trace_hash,
             "trace_mode": self.trace_mode,
             "trace_events": self.trace_events,
@@ -157,6 +164,7 @@ class ExperimentRun:
             cached=True,
             sharded=bool(artifact.get("sharded", False)),
             wall_s=float(artifact.get("wall_s", 0.0)),
+            shared_with=list(artifact.get("shared_with", [])),
             text=artifact.get("text", ""),
             rows=artifact.get("rows", []),
             title=artifact.get("title", ""),
@@ -462,6 +470,37 @@ def _run_tasks(
 
 
 # --- orchestration ---------------------------------------------------------------
+def _shard_sharers(
+    specs: list[ExperimentSpec],
+) -> dict[tuple[str, bool], list[str]]:
+    """Per spec key, the other experiment ids consuming any common shard.
+
+    Derived from the shard plans alone, so it is the same answer for a
+    serial campaign (where sharing happens through in-process memos) and
+    a pooled one (where it happens through deduplicated shard tasks).
+    """
+    from repro.experiments.registry import get_shard_plan
+
+    shard_ids: dict[tuple[str, bool], set[str]] = {}
+    for spec in specs:
+        try:
+            plan = get_shard_plan(spec.experiment_id, spec.fast)
+        except Exception:  # noqa: BLE001 - surfaced by the actual run
+            continue
+        if plan is not None:
+            shard_ids[spec.key] = {shard.task_id for shard in plan.shards}
+    return {
+        key: sorted(
+            {
+                other[0]
+                for other, other_ids in shard_ids.items()
+                if other != key and other_ids & ids
+            }
+        )
+        for key, ids in shard_ids.items()
+    }
+
+
 def _run_from_worker_payload(spec: ExperimentSpec, payload: dict) -> ExperimentRun:
     return ExperimentRun(
         experiment_id=spec.experiment_id,
@@ -497,10 +536,15 @@ def _run_serial(
 ) -> dict[tuple[str, bool], ExperimentRun]:
     """The historical one-at-a-time loop, minus its abort-on-first-error."""
     runs: dict[tuple[str, bool], ExperimentRun] = {}
+    sharers = _shard_sharers(misses)
     for spec in misses:
         try:
             payload = _experiment_worker(spec.experiment_id, spec.fast, telemetry)
             run = _run_from_worker_payload(spec, payload)
+            # Record work sharing: a later experiment reusing an earlier
+            # one's in-process memo measures ~0 s of its own wall time,
+            # and the manifest entry should say why (table7 <- table6).
+            run.shared_with = sharers.get(spec.key, [])
         except Exception as exc:  # noqa: BLE001 - surfaced in the campaign result
             run = _failed_run(spec, _describe_error(exc))
         _finish_run(run, cache, progress)
@@ -585,6 +629,7 @@ def _run_parallel(
             )
 
     outcomes, n_retries, n_timeouts = _run_tasks(tasks, jobs, policy, context)
+    sharers = _shard_sharers(misses)
 
     for key, (status, payload) in outcomes.items():
         if key[0] != "shard":
@@ -605,7 +650,12 @@ def _run_parallel(
             else:
                 run = _failed_run(spec, payload)
         else:
-            run = _merge_sharded(spec, plans[spec.key], shard_results)
+            run = _merge_sharded(
+                spec,
+                plans[spec.key],
+                shard_results,
+                shared_with=sharers.get(spec.key, []),
+            )
         _finish_run(run, cache, progress)
         runs[spec.key] = run
     return runs, n_retries, n_timeouts
@@ -615,6 +665,7 @@ def _merge_sharded(
     spec: ExperimentSpec,
     plan: "Any",
     shard_results: dict[tuple[str, bool], dict],
+    shared_with: "list[str] | None" = None,
 ) -> ExperimentRun:
     payloads: dict[str, Any] = {}
     shard_hashes: dict[str, str] = {}
@@ -647,6 +698,9 @@ def _merge_sharded(
         ok=True,
         sharded=True,
         wall_s=wall,
+        # Shared shard walls are counted into every consumer's wall_s;
+        # this names the other experiments double-counting them.
+        shared_with=list(shared_with or []),
         text=result.text,
         rows=result.rows,
         title=result.title,

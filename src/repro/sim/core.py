@@ -2,7 +2,16 @@
 
 Design notes
 ------------
-* The event queue is a binary heap of ``(time, priority, sequence, event)``
+* Virtual time is an **integer count of nanosecond ticks**
+  (:data:`repro.units.TICKS_PER_SECOND`).  Integers compare exactly, so
+  "same timestamp" is a well-defined notion (two paths computing the same
+  instant always collide, never land 1 ulp apart) and long simulations
+  cannot lose precision to float accumulation.  Floats appear only at the
+  public second-valued boundary: ``now``/``peek`` divide ticks back to
+  seconds (correctly rounded), ``timeout``/``run`` convert seconds to
+  ticks with guarded rounding (``units.delay_to_ticks`` — never early,
+  exact for tick-representable values).
+* The event queue is a binary heap of ``(ticks, priority, sequence, event)``
   tuples.  The monotonically increasing sequence number makes scheduling
   FIFO-stable, which in turn makes every simulation in this library fully
   deterministic (asserted by tests).
@@ -23,18 +32,20 @@ from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.obs import runtime as _obs
+from repro.units import TICKS_PER_SECOND, delay_to_ticks, horizon_to_ticks
 
 URGENT = 0
 NORMAL = 1
 
 PENDING = object()  # sentinel: event value not yet decided
 
-#: Active trace sinks: callables ``(time, priority, seq, event)`` invoked for
-#: every popped queue entry.  Installed globally (not per-Environment) so the
-#: determinism sanitizer can observe experiments that build their own
-#: Environments internally.  Empty in normal operation — ``step()`` pays one
-#: truthiness check.
-_TRACE_SINKS: list[Callable[[float, int, int, "Event"], None]] = []
+#: Active trace sinks: callables ``(time_ticks, priority, seq, event)``
+#: invoked for every popped queue entry; the time is the engine's integer
+#: tick count (exact, so projections can group by equality).  Installed
+#: globally (not per-Environment) so the determinism sanitizer can observe
+#: experiments that build their own Environments internally.  Empty in
+#: normal operation — ``step()`` pays one truthiness check.
+_TRACE_SINKS: list[Callable[[int, int, int, "Event"], None]] = []
 
 #: Optional tie ranker: maps the monotonically increasing sequence number to
 #: the tie-breaking key actually pushed onto the heap.  ``None`` in normal
@@ -63,12 +74,12 @@ def tie_ranker(ranker: Optional[Callable[[int], int]]) -> Any:
         _TIE_RANKER = previous
 
 
-def install_trace_sink(sink: Callable[[float, int, int, "Event"], None]) -> None:
+def install_trace_sink(sink: Callable[[int, int, int, "Event"], None]) -> None:
     """Register ``sink`` to observe every scheduled event as it is processed."""
     _TRACE_SINKS.append(sink)
 
 
-def remove_trace_sink(sink: Callable[[float, int, int, "Event"], None]) -> None:
+def remove_trace_sink(sink: Callable[[int, int, int, "Event"], None]) -> None:
     """Unregister a sink previously installed (no-op if absent)."""
     try:
         _TRACE_SINKS.remove(sink)
@@ -193,7 +204,13 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(env)
+        # Event.__init__ inlined: timeouts are the engine's hottest
+        # allocation (one per transfer window round), and the super()
+        # dispatch plus the double ``_value`` write are measurable there.
+        self.env = env
+        self.callbacks = []
+        self._ok = True
+        self._defused = False
         self.delay = delay
         self._value = value
         env._schedule(self, NORMAL, delay)
@@ -308,17 +325,29 @@ class Process(Event):
 
 
 class Environment:
-    """Holds the clock and the event queue, and drives the simulation."""
+    """Holds the clock and the event queue, and drives the simulation.
+
+    The clock is an integer nanosecond tick count (``_now``); the public
+    :attr:`now` / :meth:`peek` express it in float seconds (int/int true
+    division — correctly rounded, and exact whenever the instant is
+    representable, e.g. every whole microsecond below ~104 days).
+    """
 
     def __init__(self, initial_time: float = 0.0):
-        self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._now = round(float(initial_time) * TICKS_PER_SECOND)
+        self._now_s = self._now / TICKS_PER_SECOND
+        self._queue: list[tuple[int, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
+        return self._now_s
+
+    @property
+    def now_ticks(self) -> int:
+        """Current virtual time in integer engine ticks (nanoseconds)."""
         return self._now
 
     @property
@@ -338,7 +367,13 @@ class Environment:
 
     # -- scheduling ----------------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
-        if delay < 0:
+        if delay == 0.0:
+            tick = self._now
+        elif delay > 0.0:
+            # Guarded ceil: never early, at least one tick, exact for
+            # tick-representable delays (see units.delay_to_ticks).
+            tick = self._now + delay_to_ticks(delay)
+        else:
             # A negative delay would fire the event in the past: heappop
             # would hand out a time below ``now``, silently rewinding the
             # clock for every later observer.  Timeout already rejects
@@ -346,30 +381,33 @@ class Environment:
             # scheduling path (succeed/fail/interrupt forward 0.0 here).
             raise ValueError(
                 f"cannot schedule {event!r} with negative delay {delay!r} "
-                f"(now={self._now!r}); events cannot fire in the past"
+                f"(now={self._now_s!r}); events cannot fire in the past"
             )
         self._seq += 1
         seq = self._seq if _TIE_RANKER is None else _TIE_RANKER(self._seq)
-        heapq.heappush(self._queue, (self._now + delay, priority, seq, event))
+        heapq.heappush(self._queue, (tick, priority, seq, event))
 
     def peek(self) -> float:
-        """Time of the next scheduled event (``inf`` if none)."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled event in seconds (``inf`` if none)."""
+        return self._queue[0][0] / TICKS_PER_SECOND if self._queue else float("inf")
 
     def step(self) -> None:
         """Process the next scheduled event."""
         try:
-            self._now, priority, seq, event = heapq.heappop(self._queue)
+            tick, priority, seq, event = heapq.heappop(self._queue)
         except IndexError:
             raise SimulationError("step() on an empty schedule") from None
+        if tick != self._now:  # repro: noqa=UNIT003 -- integer ticks compare exactly
+            self._now = tick
+            self._now_s = tick / TICKS_PER_SECOND
         if _TRACE_SINKS:
             for sink in tuple(_TRACE_SINKS):
-                sink(self._now, priority, seq, event)
+                sink(tick, priority, seq, event)
         sess = _obs.ACTIVE
         if sess is not None and sess.spans:
             # Sparse queue-depth sampling; records only, never schedules,
             # so telemetry cannot perturb the event stream it observes.
-            sess.sim_step(self._now, len(self._queue))
+            sess.sim_step(self._now_s, len(self._queue))
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
             raise SimulationError(f"{event!r} processed twice")
@@ -410,10 +448,17 @@ class Environment:
                 self.step()
             return None
 
-        horizon = float(until)
+        # Guarded floor: events strictly beyond the horizon must not run,
+        # but a tick-representable horizon includes its own instant exactly.
+        horizon = horizon_to_ticks(float(until))
         if horizon < self._now:
-            raise SimulationError(f"run(until={horizon}) is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= horizon:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self._now_s})"
+            )
+        queue = self._queue
+        while queue and queue[0][0] <= horizon:
             self.step()
-        self._now = max(self._now, horizon)
+        if horizon > self._now:
+            self._now = horizon
+            self._now_s = horizon / TICKS_PER_SECOND
         return None

@@ -54,10 +54,9 @@ from repro.obs import runtime as _obs
 from repro.faults.profile import FaultProfile
 from repro.net.fluid import FluidNetwork
 from repro.net.topology import Network, Node, Route
-from repro.sim.core import Environment
+from repro.sim.core import Environment, Event
 from repro.sim.queues import Resource
 from repro.sim.rng import RngRegistry
-from repro.sim.sync import AnyOf
 from repro.tcp.buffers import BufferPolicy, effective_buffers
 from repro.tcp.congestion import CongestionState
 from repro.tcp.sysctl import DEFAULT_SYSCTLS, SysctlConfig
@@ -87,6 +86,33 @@ DEFAULT_PROBE_LOSS_ROUNDS = 50
 
 #: Minimum retransmission timeout (Linux): bounds the idle-restart check.
 RTO_MIN = 0.2
+
+
+def _race(env: Environment, first: Event, second: Event) -> Event:
+    """Trigger once either child triggers — a slim two-event ``AnyOf``.
+
+    The per-RTT driver loop in :meth:`_Direction.transmit` waits on
+    *flow finished or window tick* once per round and then inspects
+    ``flow.done`` itself, so the general combinator's tuple/set/result
+    dict bookkeeping is pure overhead on the hottest wait in the
+    simulator.  Scheduling behaviour is identical to ``AnyOf``: the
+    race event triggers (priority NORMAL, same callback position) when
+    the first child fires, and a late-failing child is defused exactly
+    as ``AnyOf._check`` would.
+    """
+    race = Event(env)
+
+    def fire(child: Event) -> None:
+        if not child._ok:
+            child._defused = True
+            if not race.triggered:
+                race.fail(child._value)
+        elif not race.triggered:
+            race.succeed(child._value)
+
+    first.callbacks.append(fire)
+    second.callbacks.append(fire)
+    return race
 
 
 @dataclass(frozen=True)
@@ -189,6 +215,13 @@ class _Direction:
             if self.faults is not None:
                 sess.count("faults.profiles_applied", wan=route.inter_site)
 
+        # Precomputed registry keys for the per-message / per-RTT sites —
+        # building the sorted label tuple there costs more than the record.
+        wan = route.inter_site
+        self._k_transfers = _obs.metric_key("tcp.transfers", wan=wan)
+        self._k_transfer_bytes = _obs.metric_key("tcp.transfer_bytes", wan=wan)
+        self._k_window_rounds = _obs.metric_key("tcp.window_rounds", wan=wan)
+
         queue = WAN_QUEUE_BYTES if route.inter_site else LAN_QUEUE_BYTES
         # BDP of the (possibly inflated) path: an RTT-inflating fault grows
         # the pipe the window has to fill before the queue overflows.
@@ -233,7 +266,7 @@ class _Direction:
             if exited_slow_start:
                 sess.instant(now, "tcp.slowstart.exit", "tcp", self.name)
         if sess.metrics:
-            sess.count("tcp.window_rounds", wan=self.route.inter_site)
+            sess.count_key(self._k_window_rounds)
             if loss_kind is not None:
                 sess.count("tcp.losses", kind=loss_kind, wan=self.route.inter_site)
                 if loss_kind == "injected":
@@ -317,8 +350,8 @@ class _Direction:
             self.stats.transfers += 1
             self.stats.payload_bytes += nbytes
             if sess is not None and sess.metrics:
-                sess.count("tcp.transfers", wan=self.route.inter_site)
-                sess.observe("tcp.transfer_bytes", nbytes, wan=self.route.inter_site)
+                sess.count_key(self._k_transfers)
+                sess.observe_key(self._k_transfer_bytes, nbytes)
 
             window = self.window()
             if wire <= window:
@@ -341,7 +374,7 @@ class _Direction:
                     # have been pushed yet.
                     window_limited = flow.rate_bps >= 0.98 * sent_cap
                     tick = env.timeout(self.rtt if window_limited else 8 * self.rtt)
-                    yield AnyOf(env, [flow.done, tick])
+                    yield _race(env, flow.done, tick)
                     if flow.done.triggered:
                         break
                     if window_limited:

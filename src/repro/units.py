@@ -82,6 +82,55 @@ def to_msec(seconds: float) -> float:
     return seconds * 1e3
 
 
+# --- engine ticks ------------------------------------------------------------
+#: The discrete-event engine keeps virtual time as an integer count of
+#: nanosecond ticks (`sim/core.py`); floats only appear at the public
+#: second-valued boundary (``Environment.now`` / ``timeout`` / ``run``).
+TICKS_PER_SECOND = 1_000_000_000
+
+#: Relative guards for the float-seconds -> integer-ticks conversions.  A
+#: product like ``delay * 1e9`` lands within 1 ulp of the true value, so
+#: nudging it down (up) by one part in 2**50 — far more than 1 ulp, far
+#: less than half a tick for any simulated duration — makes ``ceil``
+#: (``floor``) exact for every tick-representable duration instead of
+#: overshooting (undershooting) on values whose product rounded up (down).
+_TICK_GUARD_DOWN = 1.0 - 2.0**-50
+_TICK_GUARD_UP = 1.0 + 2.0**-50
+
+
+def delay_to_ticks(seconds: float) -> int:
+    """Convert a non-negative delay in seconds to integer engine ticks.
+
+    Rounds *up* (an event must never fire early), except that the guard
+    factor first cancels the upward rounding error of ``seconds * 1e9``
+    so tick-representable delays convert exactly.  Any positive delay
+    maps to at least one tick, so repeated tiny timeouts cannot stall
+    the virtual clock.
+
+    >>> delay_to_ticks(41.54e-6)
+    41540
+    >>> delay_to_ticks(1e-15)
+    1
+    """
+    return math.ceil(seconds * TICKS_PER_SECOND * _TICK_GUARD_DOWN)
+
+
+def horizon_to_ticks(seconds: float) -> int:
+    """Convert a run-until horizon in seconds to integer engine ticks.
+
+    Rounds *down* (events strictly beyond the horizon must not run), with
+    the guard factor cancelling the downward rounding error of
+    ``seconds * 1e9`` so tick-representable horizons convert exactly.
+    """
+    return math.floor(seconds * TICKS_PER_SECOND * _TICK_GUARD_UP)
+
+
+def ticks_to_seconds(ticks: int) -> float:
+    """Engine ticks back to float seconds (correctly rounded: int/int
+    true division, so e.g. ``3_500_000_000`` ticks is exactly ``3.5``)."""
+    return ticks / TICKS_PER_SECOND
+
+
 # --- conversions -------------------------------------------------------------
 def bytes_per_second(bits_per_second: Rate | float) -> float:
     return bits_per_second / 8.0

@@ -152,3 +152,50 @@ class TestPerturb:
         smoke: a real experiment, byte-identical under 3 seeds."""
         report = perturb("fig3", fast=True, seeds=(1, 2, 3))
         assert report.passed, report.render()
+
+
+class TestResultOnlyMode:
+    """``require_projection=False`` (CLI ``--result-only``): for experiments
+    whose timing tail legitimately depends on same-timestamp matching order
+    (table6/table7's merge phase), only rendered-result byte-identity gates."""
+
+    def _report(self, require_projection, result_identical, projection="drifted"):
+        from repro.analysis.perturb import PerturbRun
+
+        report = PerturbReport(
+            experiment_id="fixture",
+            fast=True,
+            baseline_projection="baseline",
+            baseline_events=10,
+            require_projection=require_projection,
+        )
+        report.runs.append(
+            PerturbRun(
+                seed=1, projection=projection, events=8,
+                result_identical=result_identical,
+            )
+        )
+        return report
+
+    def test_projection_drift_not_gating(self):
+        report = self._report(require_projection=False, result_identical=True)
+        assert report.passed
+        assert "not gating" in report.render()
+        assert "PASS" in report.render()
+
+    def test_result_drift_still_fails(self):
+        report = self._report(require_projection=False, result_identical=False)
+        assert not report.passed
+
+    def test_projection_drift_gates_by_default(self):
+        report = self._report(require_projection=True, result_identical=True)
+        assert not report.passed
+
+    def test_mode_recorded_in_report(self):
+        report = self._report(require_projection=False, result_identical=True)
+        assert report.to_dict()["require_projection"] is False
+
+    def test_perturb_threads_the_flag(self):
+        report = perturb(insensitive_experiment, seeds=(1,), require_projection=False)
+        assert report.require_projection is False
+        assert report.passed

@@ -141,3 +141,32 @@ class TestSanitize:
         assert len(digest) == 32  # blake2b-16 hex
         assert events == 5  # Initialize + three Timeouts + Process completion
         assert result.rows[0]["value"] == pytest.approx(1.75)
+
+
+class TestMemoClearing:
+    """Sanitized runs must start with cold experiment memos: a warm memo
+    replays no simulation, so the captured trace/projection would be empty."""
+
+    def test_clear_memos_empties_table6_cache(self):
+        from repro.experiments import table6
+        from repro.experiments.registry import clear_memos
+
+        table6._cache[("sentinel",)] = object()
+        clear_memos()
+        assert table6._cache == {}
+
+    def test_trace_experiment_starts_cold(self):
+        from repro.experiments import table6
+
+        table6._cache[("sentinel",)] = object()
+        trace_experiment(seeded_experiment)
+        assert table6._cache == {}
+
+    def test_perturb_runs_start_cold(self):
+        from repro.analysis.perturb import perturb
+        from repro.experiments import table6
+
+        table6._cache[("sentinel",)] = object()
+        report = perturb(seeded_experiment, seeds=(1,))
+        assert report.passed
+        assert table6._cache == {}

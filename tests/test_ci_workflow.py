@@ -104,6 +104,20 @@ def test_experiments_job_runs_the_fault_smoke(workflow):
     assert "diff -u" in commands
 
 
+def test_experiments_job_runs_the_perf_gate(workflow):
+    experiments = workflow["jobs"]["experiments"]
+    steps = [step.get("run", "") for step in experiments["steps"]]
+    gate_index = next(
+        i for i, run in enumerate(steps) if "scripts/check_perf_budget.py" in run
+    )
+    campaign_index = next(
+        i for i, run in enumerate(steps) if "repro run all --fast" in run
+    )
+    # The gate reads the campaign entry just appended to the manifest, so
+    # it must run after the campaign step.
+    assert gate_index > campaign_index
+
+
 def test_check_sh_is_valid_shell():
     bash = shutil.which("bash")
     if bash is None:
@@ -137,9 +151,15 @@ def test_check_job_exports_and_uploads_sarif(workflow):
 def test_experiments_job_runs_the_perturbation_smoke(workflow):
     experiments = workflow["jobs"]["experiments"]
     commands = _run_commands(experiments)
-    # both smoke targets run under permuted same-timestamp ordering...
+    # all three smoke targets run under permuted same-timestamp ordering
+    # (table6 is the sharded/memoised heavyweight: its fast mode is the
+    # CI slice of the full-scale run)...
     assert "repro sanitize" in commands and "--perturb" in commands
     assert "fig7" in commands and "faults_pingpong" in commands
+    assert "repro sanitize table6 --perturb" in commands
+    # table6 gates on result byte-identity only: its merge-phase timing
+    # tail legitimately depends on same-timestamp matching order
+    assert "--result-only" in commands
     assert "--seeds 3" in commands
     # ...and the unperturbed result is diffed byte-for-byte against the
     # committed golden (wall-time footer stripped on the golden side)

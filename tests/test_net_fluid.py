@@ -1,6 +1,7 @@
 """Tests for the fluid flow-level bandwidth model."""
 
 import math
+import random
 
 import pytest
 
@@ -196,3 +197,115 @@ def test_many_sequential_flows_cleanup(env, net):
     assert not net.flows
     assert not pipe.flows
     assert env.now == pytest.approx(100 * 1024 * 8 / 1e9)
+
+
+# -- differential oracle: incremental allocator vs the legacy global solve ----
+#
+# The incremental allocator must agree with the pre-rewrite full-network
+# progressive filling (kept behind REPRO_FLUID=legacy) on arbitrary workload
+# histories: flow starts and finishes, rate cap moves, capacity changes and
+# link flaps.  Rates may differ by float ulps (the two solvers associate the
+# fill arithmetic differently); completion times must match exactly, since
+# they are what the reports are built from.
+
+
+def _drive_workload(seed, legacy):
+    """Run a randomized flow history; return (rate snapshots, completions)."""
+    env = Environment()
+    network = FluidNetwork(env)
+    network._legacy = legacy
+    rng = random.Random(seed)
+    pipes = [
+        Pipe(f"p{i}", rng.choice([1e8, 2.5e8, 9.37e8, 1e9, 1e10]))
+        for i in range(rng.randint(3, 7))
+    ]
+    started = []
+    completions = {}
+    snapshots = []
+
+    def script():
+        counter = 0
+        for _ in range(60):
+            yield env.timeout(rng.uniform(1e-4, 5e-3))
+            dice = rng.random()
+            live = [f for f in started if f in network.flows]
+            if dice < 0.5 or not live:
+                counter += 1
+                route = rng.sample(pipes, rng.randint(1, min(3, len(pipes))))
+                cap = math.inf if rng.random() < 0.3 else rng.uniform(1e6, 2e9)
+                nbytes = rng.uniform(1e3, 2e7)
+                flow = network.start_flow(
+                    f"w{counter}", route, nbytes, rate_cap_bps=cap
+                )
+                flow.done.callbacks.append(
+                    lambda _ev, name=flow.name: completions.__setitem__(
+                        name, env.now
+                    )
+                )
+                started.append(flow)
+            elif dice < 0.75:
+                flow = live[rng.randrange(len(live))]
+                network.set_rate_cap(flow, rng.uniform(1e6, 2e9))
+            elif dice < 0.9:
+                pipe = pipes[rng.randrange(len(pipes))]
+                network.set_pipe_capacity(
+                    pipe, rng.choice([1e8, 2.5e8, 9.37e8, 1e9, 1e10])
+                )
+            else:
+                flow = live[rng.randrange(len(live))]
+                flow.done._defused = True  # the abort is the point
+                network.abort_flow(flow, RuntimeError("link flap"))
+            snapshots.append(
+                sorted((f.uid, f.rate_bps) for f in network.flows)
+            )
+
+    env.process(script())
+    # Generous horizon: a 1 Mbps cap on a 20 MB flow needs ~160 s of
+    # virtual time, and virtual seconds are cheap once the churn stops.
+    env.run(until=300.0)
+    assert not network.flows, "workload must drain within the horizon"
+    return snapshots, completions
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_incremental_allocator_matches_legacy_oracle(seed):
+    legacy_snaps, legacy_done = _drive_workload(seed, legacy=True)
+    incr_snaps, incr_done = _drive_workload(seed, legacy=False)
+
+    # Same flows complete, at exactly the same virtual times.
+    assert incr_done == legacy_done
+
+    # After every operation, the same flows are live with the same rates.
+    assert len(incr_snaps) == len(legacy_snaps)
+    for step, (legacy_snap, incr_snap) in enumerate(
+        zip(legacy_snaps, incr_snaps)
+    ):
+        assert [uid for uid, _ in incr_snap] == [
+            uid for uid, _ in legacy_snap
+        ], f"live flow sets diverge at op {step}"
+        for (uid, legacy_rate), (_, incr_rate) in zip(legacy_snap, incr_snap):
+            assert incr_rate == pytest.approx(
+                legacy_rate, rel=1e-12, abs=1e-9
+            ), f"rate of flow {uid} diverges at op {step}"
+
+
+def test_legacy_env_var_routes_to_global_solver(env, monkeypatch):
+    monkeypatch.setenv("REPRO_FLUID", "legacy")
+    network = FluidNetwork(env)
+    assert network._legacy
+    pipe = Pipe("p", Gbps(1))
+    flow = network.start_flow("f", [pipe], MB)
+    env.run(until=flow.done)
+    assert network.solve_rounds == network.recomputations
+
+
+def test_incremental_reuses_component_plan(env, net):
+    """Steady churn on one component must not rebuild the plan each time."""
+    pipe = Pipe("shared", Gbps(1))
+    flows = [net.start_flow(f"f{i}", [pipe], 100 * MB) for i in range(8)]
+    plan = net._plan
+    assert plan is not None and not plan.stale
+    for i, flow in enumerate(flows):
+        net.set_rate_cap(flow, Mbps(50 + i))
+    assert net._plan is plan, "cap churn inside the component rebuilt the plan"
+    assert sorted(f.uid for f in plan.flow_index) == [f.uid for f in flows]

@@ -532,3 +532,81 @@ def test_result_cache_prune_wrapper(tmp_path, tiny):
     report = cache.prune(max_bytes=0)
     assert report.kept == 0
     assert not any(tmp_path.glob("*.json"))
+
+
+# --- shared-shard wall attribution (tables 6/7 share the ray2mesh shards) ---------
+def test_shard_sharers_links_table6_and_table7():
+    from repro.runner.pool import _shard_sharers
+
+    specs = [
+        ExperimentSpec("table6", fast=True),
+        ExperimentSpec("table7", fast=True),
+        ExperimentSpec("table1", fast=True),  # unsharded: no entry at all
+    ]
+    sharers = _shard_sharers(specs)
+    assert sharers[("table6", True)] == ["table7"]
+    assert sharers[("table7", True)] == ["table6"]
+    assert ("table1", True) not in sharers
+
+
+def test_merge_attributes_shared_shard_wall_to_every_consumer():
+    """Regression: table7 used to record wall_s=0.0 because all shard wall
+    time landed on table6; every consumer must count the shared shards and
+    say who else did."""
+    from repro.experiments.base import ExperimentResult, ShardSpec
+    from repro.runner.pool import ExperimentRun, _merge_sharded
+
+    shards = tuple(
+        ShardSpec(task_id=f"ray2mesh/{site}", runner="unused:unused")
+        for site in ("nancy", "rennes")
+    )
+
+    class Plan:
+        pass
+
+    plan = Plan()
+    plan.shards = shards
+    plan.merge = lambda payloads, fast: ExperimentResult(
+        "table7", "T7", "Table 7", [], "merged"
+    )
+    shard_results = {
+        ("ray2mesh/nancy", True): {"payload": {}, "wall_s": 10.0, "trace_hash": "a"},
+        ("ray2mesh/rennes", True): {"payload": {}, "wall_s": 2.5, "trace_hash": "b"},
+    }
+    run = _merge_sharded(
+        ExperimentSpec("table7", fast=True),
+        plan,
+        shard_results,
+        shared_with=["table6"],
+    )
+    assert run.ok
+    assert run.wall_s == pytest.approx(12.5)
+    assert run.shared_with == ["table6"]
+
+    # The attribution survives the artifact round trip and the manifest.
+    revived = ExperimentRun.from_artifact(
+        ExperimentSpec("table7", fast=True), run.artifact()
+    )
+    assert revived.shared_with == ["table6"]
+    assert revived.wall_s == pytest.approx(12.5)
+
+
+def test_manifest_entry_records_shared_with(tmp_path, tiny):
+    from repro.runner.manifest import campaign_entry
+    from repro.runner.pool import CampaignResult, ExperimentRun
+
+    campaign = CampaignResult(
+        runs=[
+            ExperimentRun(
+                "table7", True, ok=True, sharded=True,
+                wall_s=12.5, shared_with=["table6"],
+            ),
+            ExperimentRun("tiny", True, ok=True, wall_s=0.1),
+        ],
+        wall_s=12.6,
+        jobs=2,
+        cache_enabled=True,
+    )
+    entry = campaign_entry(campaign, label="test")
+    assert entry["experiments"]["table7"]["shared_with"] == ["table6"]
+    assert "shared_with" not in entry["experiments"]["tiny"]

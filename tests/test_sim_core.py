@@ -381,3 +381,71 @@ def test_tie_ranker_restored_after_block():
     with core.tie_ranker(lambda seq: -seq):
         assert core._TIE_RANKER is not None
     assert core._TIE_RANKER is None
+
+
+# -- integer-tick time contract ------------------------------------------------
+#
+# The engine keeps virtual time as an integer count of nanosecond ticks;
+# floats exist only at the public seconds-valued boundary.  The contract:
+# any tick-representable duration round-trips through the boundary exactly,
+# and no positive delay can stall the clock.
+
+
+def test_tick_representable_delays_round_trip_exactly():
+    from repro.units import TICKS_PER_SECOND, delay_to_ticks, ticks_to_seconds
+
+    for ticks in (1, 41_540, 536, 3_500_000_000, 123_456_789_012_345):
+        seconds = ticks_to_seconds(ticks)
+        assert delay_to_ticks(seconds) == ticks
+
+
+def test_tick_round_trip_randomized():
+    import random
+
+    from repro.units import delay_to_ticks, ticks_to_seconds
+
+    rng = random.Random(20260808)
+    for _ in range(20_000):
+        ticks = rng.randrange(1, 10 ** rng.randint(1, 15))
+        assert delay_to_ticks(ticks_to_seconds(ticks)) == ticks
+
+
+def test_now_and_peek_round_trip_representable_values():
+    env = Environment()
+    timer = env.timeout(41.54e-6)
+    assert env.peek() == 41540 / 1e9  # exactly 41.54 µs
+    env.run(until=timer)
+    assert env.now == 41540 / 1e9
+    assert env.now_ticks == 41540
+
+
+def test_run_until_lands_exactly_on_horizon():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.25)
+
+    env.process(proc())
+    env.run(until=3.5)
+    assert env.now == 3.5
+    assert env.now_ticks == 3_500_000_000
+
+
+def test_tiny_positive_delay_cannot_stall_clock():
+    env = Environment()
+
+    def proc():
+        for _ in range(5):
+            yield env.timeout(1e-15)
+
+    env.process(proc())
+    env.run()
+    # Each sub-tick delay rounds up to one full tick instead of zero.
+    assert env.now_ticks == 5
+
+
+def test_now_ticks_is_integer():
+    env = Environment(initial_time=2.5)
+    assert isinstance(env.now_ticks, int)
+    assert env.now_ticks == 2_500_000_000
+    assert env.now == 2.5

@@ -15,6 +15,10 @@ Examples::
     repro explain fig7              # why the 128 kB rendezvous dip happens
     repro explain fig9              # the slow-start ramp, stack by stack
     repro profile table7            # cProfile hotspot table of one experiment
+    repro profile fig9 --record     # also log the top rows to the manifest
+    repro query fig7                # cached results + provenance, no re-run
+    repro index rebuild             # rescan .repro-cache/ into index.json
+    repro cache stats               # entry count, bytes, last campaign hits
     repro faults list               # the named fault scenarios
     repro lint                      # lint src/repro for determinism hazards
     repro lint --rules              # print the rule catalog
@@ -207,6 +211,15 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="number of functions to list (default 25)",
     )
+    profile.add_argument(
+        "--record",
+        nargs="?",
+        const="BENCH_experiments.json",
+        default=None,
+        metavar="PATH",
+        help="also record the hotspot rows into the timing manifest "
+        "(default BENCH_experiments.json)",
+    )
 
     sanitize = sub.add_parser(
         "sanitize",
@@ -248,8 +261,71 @@ def _build_parser() -> argparse.ArgumentParser:
         "same-timestamp matching order (table6/table7)",
     )
 
+    index = sub.add_parser(
+        "index", help="manage the artifact index over cached results"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    rebuild = index_sub.add_parser(
+        "rebuild",
+        help="rescan the cache (and optional report dirs) into index.json",
+    )
+    rebuild.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default .repro-cache/)",
+    )
+    rebuild.add_argument(
+        "--out",
+        metavar="DIR",
+        action="append",
+        default=[],
+        help="also index json/ artifacts under a 'repro run --out' directory "
+        "(repeatable)",
+    )
+
+    query = sub.add_parser(
+        "query",
+        help="look up cached results and their provenance without re-running",
+    )
+    query.add_argument(
+        "pattern",
+        help="experiment / scenario / implementation substring, e.g. fig7, "
+        "madeleine, ray2mesh",
+    )
+    query.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default .repro-cache/)",
+    )
+    query.add_argument(
+        "--out",
+        metavar="DIR",
+        action="append",
+        default=[],
+        help="also search json/ artifacts under a 'repro run --out' directory "
+        "(repeatable)",
+    )
+    query.add_argument(
+        "--text",
+        action="store_true",
+        help="print each matching experiment's cached rendered report too",
+    )
+
     cache = sub.add_parser("cache", help="manage the .repro-cache/ result store")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    stats = cache_sub.add_parser(
+        "stats",
+        help="entry count, on-disk bytes, and the last campaign's hit/miss "
+        "counters",
+    )
+    stats.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default .repro-cache/)",
+    )
     prune = cache_sub.add_parser(
         "prune",
         help="drop old entries: stale source digests accumulate forever otherwise",
@@ -380,8 +456,12 @@ def _cmd_sanitize(args) -> int:
 
 
 def _cmd_cache(args) -> int:
-    from repro.runner.cache import prune_cache
+    from repro.runner.cache import cache_stats, prune_cache
     from repro.units import parse_size
+
+    if args.cache_command == "stats":
+        print(cache_stats(root=args.root).render())
+        return 0
 
     try:
         max_bytes = parse_size(args.max_size) if args.max_size else None
@@ -408,11 +488,46 @@ def _cmd_explain(args) -> int:
 
 def _cmd_profile(args) -> int:
     from repro.experiments import get_experiment
-    from repro.obs.profile import profile_experiment
+    from repro.obs.profile import profile_report
 
     get_experiment(args.experiment)  # unknown ids raise before profiling
-    print(profile_experiment(args.experiment, fast=not args.full, top=args.top))
+    report = profile_report(args.experiment, fast=not args.full, top=args.top)
+    print(report.text)
+    if args.record is not None:
+        from repro.runner.manifest import record_profile
+
+        path = record_profile(
+            report.experiment_id,
+            report.fast,
+            report.rows,
+            report.wall_s,
+            path=args.record,
+        )
+        print(f"[profile recorded: {path}]", file=sys.stderr)
     return 0
+
+
+def _cmd_index(args) -> int:
+    from repro.runner.index import build_index
+
+    document = build_index(cache_root=args.root, out_dirs=args.out)
+    n = len(document.get("records", []))
+    print(f"indexed {n} artifact{'' if n == 1 else 's'}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.runner.index import artifact_text, query_index, render_query
+
+    records = query_index(args.pattern, cache_root=args.root, out_dirs=args.out)
+    print(render_query(args.pattern, records))
+    if args.text:
+        for record in records:
+            text = artifact_text(record)
+            if text:
+                print()
+                print(text)
+    return 0 if records else 1
 
 
 def _write_telemetry(campaign, trace_dir, metrics_dir) -> None:
@@ -470,6 +585,10 @@ def main(argv=None) -> int:
         return _cmd_faults(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "index":
+        return _cmd_index(args)
+    if args.command == "query":
+        return _cmd_query(args)
     if args.command == "explain":
         return _cmd_explain(args)
     if args.command == "profile":
@@ -488,7 +607,6 @@ def main(argv=None) -> int:
         ResultCache,
         record_campaign,
         run_campaign,
-        source_digest,
     )
 
     fast = not args.full
@@ -510,11 +628,12 @@ def main(argv=None) -> int:
     cache = None
     if scenario is not None and scenario.active:
         # Faulted runs must never poison (or replay) the clean cache: the
-        # scenario name joins the cache key.  ``--faults none`` deliberately
-        # keeps the clean digest — it *is* the clean configuration.
+        # scenario name joins every cache key as a salt, while closure-based
+        # invalidation keeps working.  ``--faults none`` deliberately keeps
+        # the clean keys — it *is* the clean configuration.
         cache = ResultCache(
-            digest=f"{source_digest()}|faults={scenario.name}",
             enabled=not args.no_cache,
+            salt=f"faults={scenario.name}",
         )
         print(f"[faults: {scenario.name} — {scenario.describe()}]", file=sys.stderr)
 
@@ -538,6 +657,7 @@ def main(argv=None) -> int:
         print()
     for run in campaign.failures:
         print(f"[{run.experiment_id}: FAILED — {run.error}]", file=sys.stderr)
+    print(f"[{campaign.cache_summary()}]", file=sys.stderr)
     if args.bench is not None or len(ids) > 1 or args.out:
         record_campaign(campaign, path=args.bench, label="repro run")
     return 0 if campaign.ok else 1

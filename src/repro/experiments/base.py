@@ -64,3 +64,17 @@ class ShardSpec:
     runner: str
     #: picklable, JSON-serialisable keyword arguments
     params: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def module(self) -> str:
+        """Module of the worker-side runner — the cache's dependency root:
+        the shard's result can only depend on code reachable from here."""
+        return self.runner.partition(":")[0]
+
+    def cache_spec(self) -> str:
+        """Digest of (runner, params) folded into the shard's cache key, so
+        two shards that ever shared a ``task_id`` with different work could
+        never replay each other's payloads."""
+        from repro.runner.cache import spec_material
+
+        return spec_material(self.runner, self.params)

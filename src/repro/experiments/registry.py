@@ -56,6 +56,25 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
+def experiment_module(experiment_id: str) -> Optional[str]:
+    """Dotted module defining ``experiment_id`` — the dependency root for
+    its cache key — or ``None`` for ids injected directly into
+    :data:`EXPERIMENTS` (tests), which fall back to whole-tree digests.
+
+    Works for both real modules (``fig3``) and module-like namespaces
+    (``experiments.faults`` hosts two experiments whose ``run`` functions
+    carry the defining module).
+    """
+    entry = MODULES.get(experiment_id.lower())
+    if entry is None:
+        return None
+    name = getattr(entry, "__name__", None)
+    if isinstance(name, str) and "." in name:
+        return name
+    run = getattr(entry, "run", None)
+    return getattr(run, "__module__", None)
+
+
 def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
     try:
         return EXPERIMENTS[experiment_id.lower()]

@@ -16,6 +16,14 @@ memory copy (``nbytes / copy_bandwidth``) when matched; a pre-posted
 receive is completed with no extra copy.  A *rendezvous announce* carries
 no data — matching it triggers the protocol's ``on_matched`` continuation
 (send the ack, then the data).
+
+"Before" is decided in integer engine ticks, with one deliberate
+tie-break: an envelope whose arrival tick equals the posting tick is
+classified *expected* (no copy) regardless of which event the queue
+happened to run first.  Same-instant intra-tick order is a simulator
+accident — without the tie-break, the expected/unexpected split (and the
+copy charge) would depend on it, which is exactly the schedule
+sensitivity the perturbation sanitizer exists to forbid.
 """
 
 from __future__ import annotations
@@ -75,7 +83,18 @@ class Mailbox:
         for i, envelope in enumerate(self.unexpected):
             if envelope.matches(src, tag, context):
                 del self.unexpected[i]
-                self._complete_from_unexpected(envelope, request, max_bytes)
+                if envelope.arrived_at_ticks == self.env.now_ticks:
+                    # The arrival and this post happened at the same virtual
+                    # instant; which ran first is a queue accident, not
+                    # physics.  Deterministic tie-break: a tie is *expected*
+                    # (no unexpected-queue copy), matching what happens when
+                    # the post is processed first — so both intra-tick
+                    # orders cost the same and classify the same.
+                    self.stats.unexpected -= 1
+                    self.stats.expected += 1
+                    self._complete_expected(envelope, request, max_bytes)
+                else:
+                    self._complete_from_unexpected(envelope, request, max_bytes)
                 return request
         self.posted.append(PostedRecv(src, tag, context, request, max_bytes))
         return request
@@ -85,6 +104,7 @@ class Mailbox:
         """An envelope arrived from the network (called at arrival time)."""
         self.stats.delivered += 1
         envelope.arrived_at = self.env.now
+        envelope.arrived_at_ticks = self.env.now_ticks
         for i, posted in enumerate(self.posted):
             if posted.accepts(envelope):
                 del self.posted[i]
@@ -92,7 +112,23 @@ class Mailbox:
                 self._complete_posted(envelope, posted)
                 return
         self.stats.unexpected += 1
-        self.unexpected.append(envelope)
+        # Canonical same-instant ordering.  Cross-sender arrival order at one
+        # tick is a queue accident MPI leaves unspecified; keeping the
+        # unexpected queue sorted by (tick, src, seq) makes ANY_SOURCE
+        # matching — table7's merge phase — independent of it.  Per-sender
+        # (non-overtaking) order is untouched: one sender's envelopes carry
+        # increasing seq and arrive FIFO.
+        i = len(self.unexpected)
+        while i > 0:
+            prev = self.unexpected[i - 1]
+            if prev.arrived_at_ticks == envelope.arrived_at_ticks and (
+                prev.src,
+                prev.seq,
+            ) > (envelope.src, envelope.seq):
+                i -= 1
+            else:
+                break
+        self.unexpected.insert(i, envelope)
 
     # -- completion paths ------------------------------------------------------------
     def _check_truncation(self, envelope: Envelope, max_bytes: Optional[int]) -> None:
@@ -104,17 +140,23 @@ class Mailbox:
 
     def _complete_posted(self, envelope: Envelope, posted: PostedRecv) -> None:
         """The receive was already posted when the envelope arrived."""
-        self._check_truncation(envelope, posted.max_bytes)
+        self._complete_expected(envelope, posted.request, posted.max_bytes)
+
+    def _complete_expected(
+        self, envelope: Envelope, request: Request, max_bytes: Optional[int]
+    ) -> None:
+        """Expected-path completion: pre-posted receive, or a same-tick tie."""
+        self._check_truncation(envelope, max_bytes)
         if envelope.eager:
             # Direct copy into the user buffer: no extra cost (Fig. 4 arrow 1).
-            posted.request._finish(
+            request._finish(
                 (envelope.payload, Status(envelope.src, envelope.tag, envelope.nbytes))
             )
         else:
             # Rendezvous announce: hand control back to the protocol.
             if envelope.on_matched is None:
                 raise MpiError("rendezvous announce without continuation")
-            envelope.on_matched(posted.request)
+            envelope.on_matched(request)
 
     def _complete_from_unexpected(
         self, envelope: Envelope, request: Request, max_bytes: Optional[int]

@@ -24,6 +24,9 @@ class Envelope:
     rndv_id: Optional[int] = None
     #: simulation time the envelope arrived at the receiver
     arrived_at: float = 0.0
+    #: arrival instant in integer engine ticks — exact, so the matching
+    #: engine can recognise an arrival tied with a same-instant post_recv
+    arrived_at_ticks: int = 0
     #: rendezvous continuation, set by the protocol: called with the
     #: matched receive request (the announce carries no data)
     on_matched: Optional[Any] = None

@@ -4,15 +4,23 @@
 front-ends over :func:`repro.runner.pool.run_campaign`:
 
 * :mod:`repro.runner.pool` — process-per-task orchestration, shard dedup,
-  wall-clock timeouts, bounded retries, failure surfacing;
+  cost-model (longest-first) dispatch, wall-clock timeouts, bounded
+  retries, failure surfacing;
 * :mod:`repro.runner.cache` — ``.repro-cache/`` keyed by (task id, fast
-  flag, source digest of ``src/repro``);
+  flag, import-closure digest of the task's modules), so editing a leaf
+  module only invalidates the shards that import it;
 * :mod:`repro.runner.manifest` — the ``BENCH_experiments.json`` timing
-  manifest.
+  manifest, which doubles as the scheduler's wall-clock history;
+* :mod:`repro.runner.index` — the queryable index behind ``repro query``.
 """
 
-from repro.runner.cache import ResultCache, source_digest
-from repro.runner.manifest import record_campaign
+from repro.runner.cache import ResultCache, cache_stats, source_digest
+from repro.runner.index import build_index, load_index, query_index
+from repro.runner.manifest import (
+    load_task_estimates,
+    record_campaign,
+    record_profile,
+)
 from repro.runner.pool import (
     CampaignResult,
     ExperimentRun,
@@ -27,7 +35,13 @@ __all__ = [
     "ExperimentSpec",
     "ResultCache",
     "RunnerPolicy",
+    "build_index",
+    "cache_stats",
+    "load_index",
+    "load_task_estimates",
+    "query_index",
     "record_campaign",
+    "record_profile",
     "run_campaign",
     "source_digest",
 ]

@@ -1,9 +1,16 @@
 """Content-addressed result cache under ``.repro-cache/``.
 
-Cache keys are ``blake2b(task id | fast flag | source digest)`` where the
-source digest hashes every ``*.py`` file of the installed ``repro``
-package: any source change invalidates every entry, so a cached replay can
-never serve results computed by different code.  Entries are small JSON
+Cache keys are ``blake2b(task id | fast flag | source digest | shard
+spec | salt)``.  The source digest is *dependency-aware*: when the task's
+root module is known (every registry experiment and every shard runner),
+only the module's import closure is digested
+(:class:`repro.analysis.imports.DependencyDigests`), so touching
+``obs/report.py`` leaves every simulation shard warm while touching
+``tcp/congestion.py`` — which every simulated byte flows through —
+correctly invalidates them all.  Tasks without a known root (tests
+injecting ad-hoc experiments) fall back to the whole-tree digest; a
+pinned ``digest=`` disables closures entirely, preserving the historical
+"one digest per store" semantics tests rely on.  Entries are small JSON
 documents — the same structured artifacts the runner writes per run — so
 they double as machine-readable experiment records.
 
@@ -21,12 +28,18 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:
+    from repro.analysis.imports import DependencyDigests
 
 logger = logging.getLogger("repro.runner.cache")
 
 #: default cache root, relative to the invocation directory
 DEFAULT_CACHE_ROOT = Path(".repro-cache")
+
+#: files in the cache root that are not artifact entries
+RESERVED_NAMES = ("index.json", "stats.json")
 
 _PACKAGE_ROOT = Path(__file__).resolve().parent.parent  # src/repro
 
@@ -47,29 +60,117 @@ def source_digest(package_root: Optional[Path] = None) -> str:
     return hasher.hexdigest()
 
 
+def spec_material(runner: str, params: dict[str, Any]) -> str:
+    """Canonical digestable form of a shard spec (runner + params).
+
+    Folding the spec into the key means per-curve/per-site shards keep
+    hitting independently even if a task_id is ever reused with different
+    parameters, and a parameter change can never replay a stale payload.
+    """
+    material = json.dumps({"runner": runner, "params": params}, sort_keys=True)
+    return hashlib.blake2b(material.encode("utf-8"), digest_size=8).hexdigest()
+
+
+def _default_deps() -> "DependencyDigests | None":
+    """A dependency-digest analyser over the installed package.
+
+    Import is deferred (cache -> analysis would otherwise be a hard
+    layering edge) and failure degrades to whole-tree digests — caching
+    must keep working even if the analyser chokes on the tree.
+    """
+    try:
+        from repro.analysis.imports import DependencyDigests
+
+        return DependencyDigests()
+    except Exception:  # noqa: BLE001 - degrade to the pessimistic digest
+        logger.warning("dependency analysis unavailable; whole-tree cache keys")
+        return None
+
+
 class ResultCache:
-    """Load/store JSON artifacts keyed by (task id, fast flag, source digest)."""
+    """Load/store JSON artifacts keyed by (task id, fast flag, source digest).
+
+    ``digest`` pins one digest for every task (tests, and the workers —
+    the parent resolves each task's dependency digest once and ships the
+    result down).  Without a pin, per-task digests come from ``deps``
+    (built by default) via each task's ``module=`` root, falling back to
+    the whole-tree :func:`source_digest`.  ``salt`` joins every key — the
+    CLI uses it to segregate faulted campaigns from clean ones.
+
+    The instance counts its ``hits`` / ``misses`` / ``stores``;
+    :meth:`write_stats` persists them to ``<root>/stats.json`` so
+    ``repro cache stats`` can report on the last campaign.
+    """
 
     def __init__(
         self,
         root: "Path | str | None" = None,
         digest: Optional[str] = None,
         enabled: bool = True,
+        deps: "DependencyDigests | None" = None,
+        salt: str = "",
     ) -> None:
         self.root = Path(root) if root is not None else DEFAULT_CACHE_ROOT
         self.enabled = enabled
-        # Computing the digest walks ~200 files once per cache instance.
-        self.digest = digest if digest is not None else source_digest()
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        if digest is not None:
+            # Pinned digest: closures off unless deps is passed explicitly.
+            self.digest = digest
+            self.deps = deps
+        else:
+            # Computing the digest walks ~200 files once per cache instance;
+            # the dependency graph parses them once more (ASTs, memoized).
+            self.digest = source_digest()
+            self.deps = deps if deps is not None else _default_deps()
 
-    def key(self, task_id: str, fast: bool) -> str:
-        material = f"{task_id}|fast={fast}|src={self.digest}"
+    def effective_digest(self, module: Optional[str] = None, spec: str = "") -> str:
+        """The digest component of a task's key, dependency-aware.
+
+        This exact string is shipped to shard workers as their pinned
+        ``digest`` so parent and worker compute identical keys without the
+        worker rebuilding the import graph.
+        """
+        digest = self.digest
+        if module is not None and self.deps is not None:
+            closure = self.deps.closure_digest(module)
+            if closure is not None:
+                digest = f"closure:{closure}"
+        if spec:
+            digest += f"|spec={spec}"
+        if self.salt:
+            digest += f"|{self.salt}"
+        return digest
+
+    def key(
+        self,
+        task_id: str,
+        fast: bool,
+        module: Optional[str] = None,
+        spec: str = "",
+    ) -> str:
+        material = f"{task_id}|fast={fast}|src={self.effective_digest(module, spec)}"
         return hashlib.blake2b(material.encode("utf-8"), digest_size=16).hexdigest()
 
-    def path(self, task_id: str, fast: bool) -> Path:
+    def path(
+        self,
+        task_id: str,
+        fast: bool,
+        module: Optional[str] = None,
+        spec: str = "",
+    ) -> Path:
         safe = task_id.replace("/", "_")
-        return self.root / f"{safe}-{self.key(task_id, fast)}.json"
+        return self.root / f"{safe}-{self.key(task_id, fast, module, spec)}.json"
 
-    def load(self, task_id: str, fast: bool) -> Optional[dict]:
+    def load(
+        self,
+        task_id: str,
+        fast: bool,
+        module: Optional[str] = None,
+        spec: str = "",
+    ) -> Optional[dict]:
         """The cached artifact, or ``None`` on miss/corruption.
 
         A corrupted entry (truncated write, malformed JSON, wrong document
@@ -78,24 +179,30 @@ class ResultCache:
         """
         if not self.enabled:
             return None
-        path = self.path(task_id, fast)
+        path = self.path(task_id, fast, module, spec)
         if not path.exists():
+            self.misses += 1
             return None
         try:
             with path.open("r", encoding="utf-8") as fh:
                 document = json.load(fh)
         except OSError:
+            self.misses += 1
             return None  # unreadable, not necessarily corrupt: leave it
         except ValueError:
             self._evict_corrupt(path, task_id, "malformed JSON")
+            self.misses += 1
             return None
         if not isinstance(document, dict) or not isinstance(
             document.get("artifact"), dict
         ):
             self._evict_corrupt(path, task_id, "unexpected document shape")
+            self.misses += 1
             return None
         if document.get("task_id") != task_id:  # hash collision paranoia
+            self.misses += 1
             return None
+        self.hits += 1
         return document["artifact"]
 
     def _evict_corrupt(self, path: Path, task_id: str, reason: str) -> None:
@@ -107,20 +214,48 @@ class ResultCache:
             "evicted corrupt cache entry for %r at %s (%s)", task_id, path, reason
         )
 
-    def store(self, task_id: str, fast: bool, artifact: dict[str, Any]) -> Optional[Path]:
+    def store(
+        self,
+        task_id: str,
+        fast: bool,
+        artifact: dict[str, Any],
+        module: Optional[str] = None,
+        spec: str = "",
+    ) -> Optional[Path]:
         """Write the artifact; returns its path (``None`` when disabled)."""
         if not self.enabled:
             return None
-        path = self.path(task_id, fast)
+        path = self.path(task_id, fast, module, spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         document = {
             "schema": 1,
             "task_id": task_id,
             "fast": fast,
-            "source_digest": self.digest,
+            "source_digest": self.effective_digest(module, spec),
             "artifact": artifact,
         }
         # Write-then-rename so a concurrent reader never sees a torn file.
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(document, indent=1), encoding="utf-8")
+        os.replace(tmp, path)
+        self.stores += 1
+        return path
+
+    def counters(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def write_stats(self, extra: "dict[str, Any] | None" = None) -> Optional[Path]:
+        """Persist this instance's counters to ``<root>/stats.json``.
+
+        Called once per campaign by the runner; ``repro cache stats``
+        reads the file back.  No-op when the cache is disabled (there is
+        nothing meaningful to report and possibly no directory).
+        """
+        if not self.enabled:
+            return None
+        path = self.root / "stats.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"schema": 1, **self.counters(), **(extra or {})}
         tmp = path.with_suffix(f".tmp{os.getpid()}")
         tmp.write_text(json.dumps(document, indent=1), encoding="utf-8")
         os.replace(tmp, path)
@@ -207,8 +342,8 @@ def prune_cache(
             if not dry_run:
                 _remove_quietly(path)
             continue
-        if path.suffix != ".json":
-            continue
+        if path.suffix != ".json" or path.name in RESERVED_NAMES:
+            continue  # the index/stats sidecars are not artifact entries
         try:
             stat = path.stat()
         except OSError:
@@ -249,3 +384,69 @@ def _remove_quietly(path: Path) -> None:
         path.unlink()
     except OSError:
         pass  # raced with another pruner: the entry is gone either way
+
+
+# --- `repro cache stats` -----------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Store shape + the last campaign's hit/miss counters."""
+
+    root: Path
+    entries: int = 0
+    total_bytes: int = 0
+    experiments: int = 0
+    shards: int = 0
+    #: counters persisted by the last campaign's :meth:`ResultCache.write_stats`
+    last_campaign: dict = field(default_factory=dict)
+
+    def summary_line(self) -> str:
+        parts = [
+            f"{self.entries} entr{'y' if self.entries == 1 else 'ies'}",
+            f"{self.total_bytes} bytes",
+        ]
+        lc = self.last_campaign
+        if lc:
+            parts.append(
+                f"last campaign: {lc.get('hits', 0)} hits, "
+                f"{lc.get('misses', 0)} misses, {lc.get('stores', 0)} stored"
+            )
+        return f"cache {self.root}: " + ", ".join(parts)
+
+    def render(self) -> str:
+        lines = [
+            self.summary_line(),
+            f"  experiment entries: {self.experiments}",
+            f"  shard entries:      {self.shards}",
+        ]
+        return "\n".join(lines)
+
+
+def cache_stats(root: "Path | str | None" = None) -> CacheStats:
+    """Scan the store: entry counts, bytes, last-campaign counters."""
+    stats = CacheStats(root=Path(root) if root is not None else DEFAULT_CACHE_ROOT)
+    if not stats.root.is_dir():
+        return stats
+    for path in sorted(stats.root.iterdir()):
+        if not path.is_file() or path.suffix != ".json":
+            continue
+        if path.name in RESERVED_NAMES:
+            continue
+        try:
+            size = path.stat().st_size
+        except OSError:
+            continue
+        stats.entries += 1
+        stats.total_bytes += size
+        if path.name.startswith("experiment_"):
+            stats.experiments += 1
+        else:
+            stats.shards += 1
+    stats_path = stats.root / "stats.json"
+    if stats_path.exists():
+        try:
+            document = json.loads(stats_path.read_text(encoding="utf-8"))
+            if isinstance(document, dict):
+                stats.last_campaign = document
+        except (OSError, ValueError):
+            pass  # a torn stats file degrades to "no last campaign"
+    return stats

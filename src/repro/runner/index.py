@@ -1,0 +1,314 @@
+"""Queryable on-disk index over cached artifacts and run reports.
+
+``repro query fig7`` should answer "what do we already know about fig7,
+and where did it come from" without simulating anything.  The index is a
+single JSON document (``.repro-cache/index.json``) summarising every
+artifact the cache holds plus any ``--out`` report directories it is
+pointed at: task id, kind (experiment or shard), fast flag, provenance
+(source digest the entry was computed under, wall seconds, trace hash)
+and a bag of searchable terms harvested from the result rows
+(implementation names, scenarios, benchmarks, sites).
+
+Staleness is detected from the directory listing — (name, mtime, size)
+per entry file — so ``repro query`` silently rebuilds after a campaign
+without ever re-reading unchanged artifacts' content a second time per
+rebuild.  The index is derived data: deleting it is always safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from repro.runner.cache import DEFAULT_CACHE_ROOT, RESERVED_NAMES
+
+#: index schema version; bump on shape changes so stale files rebuild
+INDEX_SCHEMA = 1
+
+#: index file name inside the cache root
+INDEX_NAME = "index.json"
+
+#: row keys whose string values become searchable terms
+TERM_KEYS = (
+    "impl",
+    "implementation",
+    "name",
+    "label",
+    "scenario",
+    "benchmark",
+    "kernel",
+    "site",
+    "curve",
+    "where",
+    "env",
+    "env_name",
+    "placement",
+)
+
+#: terms kept per record — enough for every impl/scenario name, bounded
+#: so a pathological artifact cannot bloat the index
+MAX_TERMS = 32
+
+
+@dataclass
+class IndexRecord:
+    """One indexed artifact."""
+
+    path: str
+    task_id: str
+    kind: str  # "experiment" | "shard"
+    experiment_id: str = ""
+    fast: bool = False
+    source_digest: str = ""
+    wall_s: float = 0.0
+    trace_hash: str = ""
+    title: str = ""
+    paper_ref: str = ""
+    terms: list[str] = field(default_factory=list)
+
+    def matches(self, needle: str) -> bool:
+        needle = needle.lower()
+        haystacks = [
+            self.task_id,
+            self.experiment_id,
+            self.kind,
+            self.title,
+            self.paper_ref,
+            *self.terms,
+        ]
+        return any(needle in hay.lower() for hay in haystacks)
+
+    def render(self) -> str:
+        digest = self.source_digest
+        if digest.startswith("closure:"):
+            digest = digest[len("closure:") :]
+        provenance = (
+            f"fast={self.fast}  wall {self.wall_s:.1f}s  "
+            f"digest {digest[:12] or '-'}"
+        )
+        lines = [f"{self.task_id}  [{self.kind}]  {provenance}"]
+        if self.title:
+            ref = f" ({self.paper_ref})" if self.paper_ref else ""
+            lines.append(f"  {self.title}{ref}")
+        lines.append(f"  {self.path}")
+        return "\n".join(lines)
+
+
+def _terms_from_rows(rows: Any) -> list[str]:
+    terms: list[str] = []
+    seen: set[str] = set()
+    if not isinstance(rows, list):
+        return terms
+    for row in rows:
+        if not isinstance(row, dict):
+            continue
+        for key in TERM_KEYS:
+            value = row.get(key)
+            if isinstance(value, str) and value and value.lower() not in seen:
+                seen.add(value.lower())
+                terms.append(value)
+                if len(terms) >= MAX_TERMS:
+                    return terms
+    return terms
+
+
+def _record_from_cache_entry(path: Path, document: dict) -> Optional[IndexRecord]:
+    artifact = document.get("artifact")
+    if not isinstance(artifact, dict) or "task_id" not in document:
+        return None
+    kind = artifact.get("kind", "shard")
+    record = IndexRecord(
+        path=str(path),
+        task_id=str(document["task_id"]),
+        kind=str(kind),
+        fast=bool(document.get("fast", False)),
+        source_digest=str(document.get("source_digest", "")),
+        wall_s=float(artifact.get("wall_s", 0.0) or 0.0),
+        trace_hash=str(artifact.get("trace_hash", "")),
+    )
+    if kind == "experiment":
+        record.experiment_id = str(artifact.get("experiment_id", ""))
+        record.title = str(artifact.get("title", ""))
+        record.paper_ref = str(artifact.get("paper_ref", ""))
+        record.terms = _terms_from_rows(artifact.get("rows"))
+    return record
+
+
+def _record_from_report(path: Path, artifact: dict) -> Optional[IndexRecord]:
+    if artifact.get("kind") != "experiment" or "experiment_id" not in artifact:
+        return None
+    experiment_id = str(artifact["experiment_id"])
+    return IndexRecord(
+        path=str(path),
+        task_id=f"experiment/{experiment_id}",
+        kind="report",
+        experiment_id=experiment_id,
+        fast=bool(artifact.get("fast", False)),
+        wall_s=float(artifact.get("wall_s", 0.0) or 0.0),
+        trace_hash=str(artifact.get("trace_hash", "")),
+        title=str(artifact.get("title", "")),
+        paper_ref=str(artifact.get("paper_ref", "")),
+        terms=_terms_from_rows(artifact.get("rows")),
+    )
+
+
+def _fingerprint(paths: Iterable[Path]) -> list[list]:
+    """(name, mtime, size) per file: the staleness check's ground truth."""
+    out = []
+    for path in sorted(paths):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        out.append([path.name, round(stat.st_mtime, 3), stat.st_size])
+    return out
+
+
+def _entry_files(cache_root: Path) -> list[Path]:
+    if not cache_root.is_dir():
+        return []
+    return [
+        path
+        for path in sorted(cache_root.iterdir())
+        if path.is_file()
+        and path.suffix == ".json"
+        and path.name not in RESERVED_NAMES
+    ]
+
+
+def _report_files(out_dirs: Iterable[Path]) -> list[Path]:
+    files: list[Path] = []
+    for out_dir in out_dirs:
+        json_dir = Path(out_dir) / "json"
+        if json_dir.is_dir():
+            files.extend(sorted(json_dir.glob("*.json")))
+    return files
+
+
+def build_index(
+    cache_root: "Path | str | None" = None,
+    out_dirs: Iterable["Path | str"] = (),
+) -> dict[str, Any]:
+    """Scan the store (and report dirs) into an index document, and write
+    it to ``<cache_root>/index.json``."""
+    root = Path(cache_root) if cache_root is not None else DEFAULT_CACHE_ROOT
+    records: list[IndexRecord] = []
+    entry_files = _entry_files(root)
+    for path in entry_files:
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue  # corrupt entries are the cache's problem, not ours
+        if isinstance(document, dict):
+            record = _record_from_cache_entry(path, document)
+            if record is not None:
+                records.append(record)
+    report_files = _report_files(Path(d) for d in out_dirs)
+    for path in report_files:
+        try:
+            artifact = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if isinstance(artifact, dict):
+            record = _record_from_report(path, artifact)
+            if record is not None:
+                records.append(record)
+
+    records.sort(key=lambda r: (r.kind != "experiment", r.task_id, r.path))
+    document = {
+        "schema": INDEX_SCHEMA,
+        "cache_root": str(root),
+        "out_dirs": sorted(str(d) for d in out_dirs),
+        "fingerprint": _fingerprint(entry_files + report_files),
+        "records": [asdict(record) for record in records],
+    }
+    if root.is_dir() or records:
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / INDEX_NAME
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(document, indent=1), encoding="utf-8")
+        os.replace(tmp, path)
+    return document
+
+
+def load_index(
+    cache_root: "Path | str | None" = None,
+    out_dirs: Iterable["Path | str"] = (),
+    rebuild: bool = True,
+) -> dict[str, Any]:
+    """The current index document, rebuilding when missing or stale.
+
+    Stale means the store's (name, mtime, size) listing no longer matches
+    the fingerprint captured at build time — the cheap check that makes
+    ``repro query`` safe to run right after a campaign.
+    """
+    root = Path(cache_root) if cache_root is not None else DEFAULT_CACHE_ROOT
+    out_dirs = tuple(out_dirs)
+    path = root / INDEX_NAME
+    document: Optional[dict] = None
+    try:
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        if isinstance(loaded, dict) and loaded.get("schema") == INDEX_SCHEMA:
+            document = loaded
+    except (OSError, ValueError):
+        document = None
+    if document is not None:
+        current = _fingerprint(
+            _entry_files(root) + _report_files(Path(d) for d in out_dirs)
+        )
+        requested_dirs = sorted(str(d) for d in out_dirs)
+        if (
+            document.get("fingerprint") != current
+            or document.get("out_dirs", []) != requested_dirs
+        ):
+            document = None  # stale: the store moved under it
+    if document is None:
+        if not rebuild:
+            return {"schema": INDEX_SCHEMA, "records": [], "fingerprint": []}
+        document = build_index(root, out_dirs)
+    return document
+
+
+def query_index(
+    pattern: str,
+    cache_root: "Path | str | None" = None,
+    out_dirs: Iterable["Path | str"] = (),
+) -> list[IndexRecord]:
+    """Records matching ``pattern`` (case-insensitive substring over task
+    id, experiment id, kind, title, paper ref, and harvested terms)."""
+    document = load_index(cache_root, out_dirs)
+    records = [
+        IndexRecord(**raw)
+        for raw in document.get("records", [])
+        if isinstance(raw, dict)
+    ]
+    return [record for record in records if record.matches(pattern)]
+
+
+def render_query(pattern: str, records: list[IndexRecord]) -> str:
+    if not records:
+        return (
+            f"query {pattern!r}: no matches "
+            "(nothing indexed yet? run a campaign, or `repro index rebuild`)"
+        )
+    lines = [
+        f"query {pattern!r}: {len(records)} match"
+        f"{'' if len(records) == 1 else 'es'}"
+    ]
+    for record in records:
+        lines.append(record.render())
+    return "\n".join(lines)
+
+
+def artifact_text(record: IndexRecord) -> Optional[str]:
+    """The rendered report text stored in an indexed artifact, if any."""
+    try:
+        document = json.loads(Path(record.path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    artifact = document.get("artifact", document) if isinstance(document, dict) else {}
+    text = artifact.get("text") if isinstance(artifact, dict) else None
+    return text if isinstance(text, str) and text else None

@@ -44,6 +44,7 @@ cannot kill a hung task without poisoning the whole pool):
 from __future__ import annotations
 
 import importlib
+import math
 import multiprocessing
 import time
 from dataclasses import dataclass, field
@@ -190,6 +191,15 @@ class CampaignResult:
     timeouts: int = 0
     #: the campaign recorded telemetry (and therefore bypassed the cache)
     telemetry_enabled: bool = False
+    #: per-shard worker wall seconds, by task_id (cached shards report the
+    #: wall of the run that originally computed them) — the cost model's
+    #: training data, recorded into the manifest
+    shard_walls: dict[str, float] = field(default_factory=dict)
+    #: result-cache traffic: parent-side lookups plus every store the
+    #: campaign performed (including worker-side shard stores)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
 
     @property
     def failures(self) -> list[ExperimentRun]:
@@ -219,6 +229,16 @@ class CampaignResult:
             failed = ", ".join(run.experiment_id for run in self.failures)
             parts.append(f"FAILED: {failed}")
         return "; ".join(parts)
+
+    def cache_summary(self) -> str:
+        """One-line cache traffic report (printed by ``repro run``)."""
+        if not self.cache_enabled:
+            return "cache: disabled"
+        return (
+            f"cache: {self.cache_hits} hit{'s' if self.cache_hits != 1 else ''}, "
+            f"{self.cache_misses} miss{'es' if self.cache_misses != 1 else ''}, "
+            f"{self.cache_stores} stored"
+        )
 
 
 # --- worker-side functions (module-level: picklable by reference) ----------------
@@ -552,16 +572,50 @@ def _run_serial(
     return runs
 
 
+def _experiment_root(experiment_id: str) -> Optional[str]:
+    """The experiment's defining module — its cache dependency root."""
+    try:
+        from repro.experiments.registry import experiment_module
+
+        return experiment_module(experiment_id)
+    except Exception:  # noqa: BLE001 - fall back to whole-tree digests
+        return None
+
+
 def _finish_run(
     run: ExperimentRun,
     cache: ResultCache,
     progress: Optional[Callable[[str], None]],
 ) -> None:
     if run.ok:
-        cache.store(f"experiment/{run.experiment_id}", run.fast, run.artifact())
+        cache.store(
+            f"experiment/{run.experiment_id}",
+            run.fast,
+            run.artifact(),
+            module=_experiment_root(run.experiment_id),
+        )
     if progress is not None:
         state = "failed" if not run.ok else ("cached" if run.cached else "ok")
         progress(f"{run.experiment_id}: {run.wall_s:7.1f}s [{state}]")
+
+
+def _order_by_cost(tasks: list[_Task], estimates: dict[str, float]) -> None:
+    """Longest-estimated-first (LPT) dispatch order, in place.
+
+    With FIFO submission the 4-worker makespan was hostage to whichever
+    heavyweight (fig10, fig12, the ray2mesh shards) happened to land last;
+    sorting by historical wall estimates starts the long poles first so
+    the short tail packs in behind them.  Tasks with no history sort
+    before everything (an unknown might *be* the long pole); ties break on
+    the label so the order is deterministic for a given manifest.
+    """
+
+    def estimate(task: _Task) -> float:
+        kind, ident = task.key[0], task.key[1]
+        lookup = ident if kind == "shard" else f"experiment/{ident}"
+        return estimates.get(lookup, math.inf)
+
+    tasks.sort(key=lambda task: (-estimate(task), task.label))
 
 
 def _run_parallel(
@@ -571,7 +625,8 @@ def _run_parallel(
     policy: RunnerPolicy,
     progress: Optional[Callable[[str], None]],
     telemetry: "tuple[bool, bool] | None" = None,
-) -> tuple[dict[tuple[str, bool], ExperimentRun], int, int]:
+    estimates: "dict[str, float] | None" = None,
+) -> tuple[dict[tuple[str, bool], ExperimentRun], int, int, dict[str, float]]:
     from repro.experiments.registry import ShardPlan, get_shard_plan
 
     context = multiprocessing.get_context(_START_METHOD)
@@ -603,7 +658,9 @@ def _run_parallel(
             shard_key = (shard.task_id, spec.fast)
             if shard_key in shard_results or shard_key in submitted:
                 continue  # deduplicated across experiments
-            cached = cache.load(shard.task_id, spec.fast)
+            cached = cache.load(
+                shard.task_id, spec.fast, module=shard.module, spec=shard.cache_spec()
+            )
             if cached is not None:
                 shard_results[shard_key] = cached
                 continue
@@ -612,15 +669,18 @@ def _run_parallel(
                 _Task(
                     key=("shard", shard.task_id, spec.fast),
                     target=_shard_worker,
-                    # The worker stores its own artifact: the parent's
-                    # digest rides along so it is computed exactly once.
+                    # The worker stores its own artifact: the parent
+                    # resolves the shard's dependency-aware digest once and
+                    # ships it down, so the worker never walks the tree.
                     args=(
                         shard.runner,
                         shard.params,
                         spec.fast,
                         shard.task_id,
                         str(cache.root),
-                        cache.digest,
+                        cache.effective_digest(
+                            module=shard.module, spec=shard.cache_spec()
+                        ),
                         cache.enabled,
                         telemetry,
                     ),
@@ -628,6 +688,7 @@ def _run_parallel(
                 )
             )
 
+    _order_by_cost(tasks, estimates or {})
     outcomes, n_retries, n_timeouts = _run_tasks(tasks, jobs, policy, context)
     sharers = _shard_sharers(misses)
 
@@ -638,6 +699,16 @@ def _run_parallel(
         shard_results[shard_key] = (
             payload if status == "ok" else {"error": payload}
         )
+        if status == "ok" and cache.enabled:
+            # The worker stored its own artifact; account for it here so
+            # the campaign's store counter covers shard traffic too.
+            cache.stores += 1
+
+    shard_walls = {
+        task_id: round(float(artifact["wall_s"]), 3)
+        for (task_id, _fast), artifact in sorted(shard_results.items())
+        if "wall_s" in artifact
+    }
 
     for spec in misses:
         if spec.key in runs:
@@ -658,7 +729,7 @@ def _run_parallel(
             )
         _finish_run(run, cache, progress)
         runs[spec.key] = run
-    return runs, n_retries, n_timeouts
+    return runs, n_retries, n_timeouts, shard_walls
 
 
 def _merge_sharded(
@@ -729,6 +800,7 @@ def run_campaign(
     progress: Optional[Callable[[str], None]] = None,
     policy: Optional[RunnerPolicy] = None,
     telemetry: Optional[TelemetryConfig] = None,
+    estimates: "dict[str, float] | None" = None,
 ) -> CampaignResult:
     """Run a campaign; never raises for individual experiment failures.
 
@@ -737,6 +809,13 @@ def run_campaign(
     built with ``enabled=use_cache``.  ``policy`` tunes timeout/retry
     handling on the parallel path; the serial path (``jobs <= 1``) runs
     in-process, where a hung experiment cannot be killed.
+
+    ``estimates`` maps task ids (shard ``task_id``s and
+    ``experiment/<id>``) to historical wall seconds; the parallel engine
+    dispatches longest-estimated-first so the makespan is not hostage to
+    a heavyweight landing last.  ``None`` loads the history recorded in
+    ``BENCH_experiments.json`` (missing file: every task is unknown and
+    the order degrades to the deterministic label order).
 
     ``telemetry`` turns on the ``repro.obs`` recorder in every worker and
     attaches the merged payload to each :class:`ExperimentRun`.  Telemetry
@@ -751,15 +830,24 @@ def run_campaign(
     if policy is None:
         policy = DEFAULT_POLICY
     telemetry_pair = telemetry.as_tuple() if telemetry is not None else None
+    if estimates is None and jobs > 1:
+        from repro.runner.manifest import load_task_estimates
+
+        estimates = load_task_estimates()
 
     runs: dict[tuple[str, bool], ExperimentRun] = {}
     misses: list[ExperimentSpec] = []
     n_retries = 0
     n_timeouts = 0
+    shard_walls: dict[str, float] = {}
     for spec in specs:
         if spec.key in runs or spec in misses:
             continue
-        artifact = cache.load(f"experiment/{spec.experiment_id}", spec.fast)
+        artifact = cache.load(
+            f"experiment/{spec.experiment_id}",
+            spec.fast,
+            module=_experiment_root(spec.experiment_id),
+        )
         if artifact is not None and artifact.get("ok"):
             run = ExperimentRun.from_artifact(spec, artifact)
             if progress is not None:
@@ -772,8 +860,8 @@ def run_campaign(
         if jobs <= 1:
             runs.update(_run_serial(misses, cache, progress, telemetry_pair))
         else:
-            parallel_runs, n_retries, n_timeouts = _run_parallel(
-                misses, cache, jobs, policy, progress, telemetry_pair
+            parallel_runs, n_retries, n_timeouts, shard_walls = _run_parallel(
+                misses, cache, jobs, policy, progress, telemetry_pair, estimates
             )
             runs.update(parallel_runs)
 
@@ -787,7 +875,19 @@ def run_campaign(
         retries=n_retries,
         timeouts=n_timeouts,
         telemetry_enabled=telemetry is not None,
+        shard_walls=shard_walls,
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+        cache_stores=cache.stores,
     )
+    if cache.enabled:
+        cache.write_stats(
+            {
+                "jobs": jobs,
+                "experiments": len(campaign.runs),
+                "cached_experiments": len(campaign.cached),
+            }
+        )
     if out_dir is not None:
         write_reports(campaign, Path(out_dir))
     return campaign

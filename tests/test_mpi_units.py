@@ -145,6 +145,7 @@ def test_mailbox_unexpected_then_matched():
     )
     box.deliver(envelope)
     assert box.stats.unexpected == 1
+    env.run(until=1e-6)  # the receive is genuinely late, not a same-tick tie
     request = box.post_recv(1, 3, POINT_TO_POINT_CONTEXT)
     env.run()  # run the copy process
     assert request.complete
@@ -172,12 +173,54 @@ def test_mailbox_wildcards_match_in_arrival_order():
     env = Environment()
     box = Mailbox(env, 0, copy_bandwidth=1e9)
     for i, src in enumerate((3, 1, 2)):
+        env.run(until=(i + 1) * 1e-6)  # distinct arrival instants
         box.deliver(
             Envelope(src=src, dst=0, tag=0, context=POINT_TO_POINT_CONTEXT,
                      nbytes=8, payload=i)
         )
+    env.run(until=1e-5)
     request = box.post_recv(ANY_SOURCE, ANY_TAG, POINT_TO_POINT_CONTEXT)
     env.run()
     payload, status = request.result()
     assert payload == 0  # first arrival, regardless of source rank
     assert status.source == 3
+
+
+def test_mailbox_same_tick_arrivals_match_in_canonical_order():
+    # Cross-sender order within one tick is a queue accident; the mailbox
+    # canonicalises it to (src, seq) so ANY_SOURCE matching is
+    # schedule-independent.
+    env = Environment()
+    box = Mailbox(env, 0, copy_bandwidth=1e9)
+    for i, src in enumerate((3, 1, 2)):
+        box.deliver(
+            Envelope(src=src, dst=0, tag=0, context=POINT_TO_POINT_CONTEXT,
+                     nbytes=8, payload=i)
+        )
+    env.run(until=1e-6)
+    request = box.post_recv(ANY_SOURCE, ANY_TAG, POINT_TO_POINT_CONTEXT)
+    env.run()
+    payload, status = request.result()
+    assert status.source == 1  # lowest same-instant source, not arrival accident
+    assert payload == 1
+
+
+def test_mailbox_same_tick_tie_is_expected_no_copy():
+    # An envelope arriving at exactly the tick its receive is posted is
+    # classified expected in both intra-tick orders: no unexpected-queue
+    # copy charge, and the stats agree with the post-first schedule.
+    env = Environment()
+    box = Mailbox(env, 0, copy_bandwidth=1e9)
+    envelope = Envelope(
+        src=1, dst=0, tag=3, context=POINT_TO_POINT_CONTEXT, nbytes=1000,
+        payload="data",
+    )
+    box.deliver(envelope)
+    request = box.post_recv(1, 3, POINT_TO_POINT_CONTEXT)
+    env.run()
+    payload, status = request.result()
+    assert payload == "data"
+    assert status == Status(1, 3, 1000)
+    assert box.stats.expected == 1
+    assert box.stats.unexpected == 0
+    assert box.stats.copies_bytes == 0

@@ -526,12 +526,17 @@ def test_prune_missing_root_is_a_noop(tmp_path):
 
 
 def test_result_cache_prune_wrapper(tmp_path, tiny):
+    from repro.runner.cache import RESERVED_NAMES
+
     cache = ResultCache(root=tmp_path, digest="digest-a")
     run_campaign([ExperimentSpec(tiny, fast=True)], cache=cache)
-    assert any(tmp_path.glob("*.json"))
+    entries = [p for p in tmp_path.glob("*.json") if p.name not in RESERVED_NAMES]
+    assert entries
     report = cache.prune(max_bytes=0)
     assert report.kept == 0
-    assert not any(tmp_path.glob("*.json"))
+    # Only reserved sidecars (index/stats) may survive a full prune.
+    survivors = {p.name for p in tmp_path.glob("*.json")}
+    assert survivors <= set(RESERVED_NAMES)
 
 
 # --- shared-shard wall attribution (tables 6/7 share the ray2mesh shards) ---------
@@ -610,3 +615,174 @@ def test_manifest_entry_records_shared_with(tmp_path, tiny):
     entry = campaign_entry(campaign, label="test")
     assert entry["experiments"]["table7"]["shared_with"] == ["table6"]
     assert "shared_with" not in entry["experiments"]["tiny"]
+
+
+# --- cost-model scheduling --------------------------------------------------------
+def test_order_by_cost_longest_first():
+    from repro.runner.pool import _Task, _order_by_cost
+
+    def noop():
+        pass
+
+    tasks = [
+        _Task(key=("shard", "a", True), target=noop, args=(), label="a"),
+        _Task(key=("shard", "b", True), target=noop, args=(), label="b"),
+        _Task(key=("experiment", "x", True), target=noop, args=(), label="x"),
+        _Task(key=("shard", "new", True), target=noop, args=(), label="new"),
+    ]
+    estimates = {"a": 1.0, "b": 30.0, "experiment/x": 5.0}
+    _order_by_cost(tasks, estimates)
+    # Unknown history first (it might be the long pole), then descending.
+    assert [t.label for t in tasks] == ["new", "b", "x", "a"]
+
+
+def test_order_by_cost_without_history_is_label_order():
+    from repro.runner.pool import _Task, _order_by_cost
+
+    tasks = [
+        _Task(key=("shard", n, True), target=None, args=(), label=n)
+        for n in ("c", "a", "b")
+    ]
+    _order_by_cost(tasks, {})
+    assert [t.label for t in tasks] == ["a", "b", "c"]
+
+
+def test_load_task_estimates_latest_wins(tmp_path):
+    from repro.runner.manifest import load_task_estimates
+
+    manifest = tmp_path / "bench.json"
+    manifest.write_text(json.dumps({"schema": 1, "runs": [
+        {
+            "shards": {"npb/grid16/ft": 9.0},
+            "experiments": {"fig3": {"ok": True, "wall_s": 2.0}},
+        },
+        {
+            "shards": {"npb/grid16/ft": 4.5},
+            "experiments": {
+                "fig3": {"ok": True, "wall_s": 1.0},
+                "broken": {"ok": False, "wall_s": 99.0},
+            },
+        },
+    ]}), encoding="utf-8")
+    estimates = load_task_estimates(manifest)
+    assert estimates["npb/grid16/ft"] == 4.5  # newest entry wins
+    assert estimates["experiment/fig3"] == 1.0
+    assert "experiment/broken" not in estimates  # failures are not history
+
+
+def test_load_task_estimates_missing_manifest(tmp_path):
+    from repro.runner.manifest import load_task_estimates
+
+    assert load_task_estimates(tmp_path / "absent.json") == {}
+
+
+# --- cache counters / stats --------------------------------------------------------
+def test_campaign_counts_hits_and_misses(tmp_path, tiny):
+    cache = ResultCache(root=tmp_path, digest="digest-a")
+    first = run_campaign([ExperimentSpec(tiny, fast=True)], cache=cache)
+    assert first.cache_misses >= 1 and first.cache_hits == 0
+    assert first.cache_stores >= 1
+    assert "1 miss" in first.cache_summary()
+
+    cache2 = ResultCache(root=tmp_path, digest="digest-a")
+    second = run_campaign([ExperimentSpec(tiny, fast=True)], cache=cache2)
+    assert second.cache_hits == 1 and second.cache_stores == 0
+    assert second.cache_summary().startswith("cache: 1 hit")
+
+
+def test_campaign_writes_stats_sidecar(tmp_path, tiny):
+    cache = ResultCache(root=tmp_path, digest="digest-a")
+    run_campaign([ExperimentSpec(tiny, fast=True)], cache=cache)
+    document = json.loads((tmp_path / "stats.json").read_text(encoding="utf-8"))
+    assert document["stores"] >= 1
+    assert "experiments" in document
+
+
+def test_manifest_entry_records_cache_counters(tmp_path, tiny):
+    cache = ResultCache(root=tmp_path, digest="digest-a")
+    campaign = run_campaign([ExperimentSpec(tiny, fast=True)], cache=cache)
+    path = record_campaign(campaign, path=tmp_path / "bench.json")
+    entry = json.loads(path.read_text(encoding="utf-8"))["runs"][-1]
+    assert entry["cache"] == {
+        "hits": campaign.cache_hits,
+        "misses": campaign.cache_misses,
+        "stores": campaign.cache_stores,
+    }
+
+
+def test_disabled_cache_summary(tmp_path, tiny):
+    cache = ResultCache(root=tmp_path, digest="digest-a", enabled=False)
+    campaign = run_campaign([ExperimentSpec(tiny, fast=True)], cache=cache)
+    assert campaign.cache_summary() == "cache: disabled"
+
+
+def test_salt_segregates_entries(tmp_path, tiny):
+    clean = ResultCache(root=tmp_path, digest="digest-a")
+    run_campaign([ExperimentSpec(tiny, fast=True)], cache=clean)
+    salted = ResultCache(root=tmp_path, digest="digest-a", salt="faults=lossy")
+    faulted = run_campaign([ExperimentSpec(tiny, fast=True)], cache=salted)
+    assert not faulted.runs[0].cached  # the clean entry must not replay
+
+
+# --- dependency-aware invalidation (end to end through the campaign runner) --------
+def _deps_with_touch(module=None):
+    from repro.analysis.imports import DependencyDigests, ImportGraph
+
+    if module is None:
+        return DependencyDigests()
+    source = ImportGraph().source(module)
+    return DependencyDigests(overlay={module: source + b"\n# touched\n"})
+
+
+def test_touching_a_leaf_module_keeps_experiments_warm(tmp_path):
+    specs = [ExperimentSpec("table4", fast=True)]
+    cold = run_campaign(
+        specs, cache=ResultCache(root=tmp_path, deps=_deps_with_touch())
+    )
+    assert not cold.runs[0].cached
+    warm = run_campaign(
+        specs,
+        cache=ResultCache(
+            root=tmp_path, deps=_deps_with_touch("repro.obs.report")
+        ),
+    )
+    assert warm.runs[0].cached  # obs/report.py is outside table4's closure
+
+
+def test_touching_a_dependency_goes_cold(tmp_path):
+    specs = [ExperimentSpec("table4", fast=True)]
+    run_campaign(specs, cache=ResultCache(root=tmp_path, deps=_deps_with_touch()))
+    cold = run_campaign(
+        specs,
+        cache=ResultCache(
+            root=tmp_path, deps=_deps_with_touch("repro.tcp.congestion")
+        ),
+    )
+    assert not cold.runs[0].cached  # every simulation reaches the TCP stack
+
+
+# --- profile recording -------------------------------------------------------------
+def test_profile_report_rows_and_recording(tmp_path):
+    from repro.obs.profile import profile_report
+    from repro.runner.manifest import record_profile
+
+    report = profile_report("table1", fast=True, top=5)
+    assert report.rows and len(report.rows) <= 5
+    assert {"function", "where", "ncalls", "tottime_s", "cumtime_s"} <= set(
+        report.rows[0]
+    )
+    # rows are sorted by cumulative time, descending
+    cums = [row["cumtime_s"] for row in report.rows]
+    assert cums == sorted(cums, reverse=True)
+
+    path = record_profile(
+        report.experiment_id,
+        report.fast,
+        report.rows,
+        report.wall_s,
+        path=tmp_path / "bench.json",
+    )
+    document = json.loads(path.read_text(encoding="utf-8"))
+    entry = document["profiles"]["table1|fast=True"]
+    assert entry["top"] == report.rows
+    assert entry["wall_s"] >= 0

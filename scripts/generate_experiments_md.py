@@ -13,7 +13,7 @@ HEADER_MARK = "<!-- RESULTS -->"
 ORDER = [
     "table1", "table2", "table3", "table4", "fig3", "fig5", "fig6", "fig7",
     "table5", "fig9", "fig10", "fig11", "fig12", "fig13", "table6", "table7",
-    "faults_pingpong", "faults_cg",
+    "faults_pingpong", "faults_cg", "coll_hier",
 ]
 
 PAPER_SUMMARY = {
@@ -41,6 +41,13 @@ PAPER_SUMMARY = {
         "Beyond the paper: NPB CG (8+8 grid) wall time under seeded WAN "
         "latency jitter (0-50% of the base RTT)."
     ),
+    "coll_hier": (
+        "Beyond the paper: §2.1 credits MPICH-G2's topology-aware "
+        "collectives; this experiment generalises the model's bcast "
+        "hierarchy to reduce/allreduce/gather and compares each against "
+        "MPICH2's flat default on the cyclically-placed 8+8 grid, timing "
+        "one call per size and counting WAN crossings."
+    ),
 }
 
 # Extra per-experiment pointers rendered after the paper summary.
@@ -57,6 +64,14 @@ DIAGNOSIS = {
         "recorder on and lines up each stack's congestion-window samples, "
         "slow-start exit time and loss count next to its time-to-500-Mbps, "
         "with an ASCII cwnd-ramp chart per stack."
+    ),
+    "coll_hier": (
+        "`repro explain coll_hier` counts what actually crosses the WAN: "
+        "per-call inter-site messages and bytes for the flat and "
+        "hierarchical variants, showing the O(P) -> O(sites) crossing "
+        "reduction, the byte savings of combining partials before the "
+        "WAN (reduce/allreduce), and why gather's irreducible volume "
+        "limits its win."
     ),
 }
 
@@ -94,8 +109,11 @@ def main() -> int:
         "* Table 2's FT/IS rows use the paper's own characterisation\n"
         "  (broadcast-dominated FT); the underlying message counts follow\n"
         "  our collective decompositions, not [Faraj & Yuan]'s accounting.\n"
-        "* MPICH-Madeleine's BT/SP timeout is recorded as a known failure\n"
-        "  (the paper observed the hang; no root cause was published).\n"
+        "* MPICH-Madeleine's BT/SP timeout is recorded as a structured\n"
+        "  known failure: the paper observed the hang without a published\n"
+        "  root cause, so the result carries a `KnownFailure` locating the\n"
+        "  last collective the benchmark enters (its final residual\n"
+        "  allreduce, found by a telemetry probe) rather than a bare inf.\n"
         "* Fig. 13's absolute speedups run below the paper's (LU 2.9 vs\n"
         "  ~4, SP 1.6 vs >=3): the model's 4-node cluster reference is\n"
         "  comparatively fast because intra-cluster communication is cheap\n"

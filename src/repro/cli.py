@@ -191,7 +191,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="diagnosis report: what the telemetry says about a figure",
     )
     explain.add_argument(
-        "figure", choices=("fig7", "fig9"), help="figure to explain"
+        "figure",
+        choices=("fig7", "fig9", "coll_hier"),
+        help="figure/experiment to explain",
     )
     explain.add_argument(
         "--full", action="store_true", help="paper-scale probe runs (slower)"

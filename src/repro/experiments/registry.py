@@ -7,6 +7,7 @@ from typing import Any, Callable, Optional
 
 from repro.errors import ExperimentError
 from repro.experiments import (
+    coll_hier,
     faults,
     fig3,
     fig5,
@@ -49,6 +50,7 @@ MODULES: dict[str, Any] = {
     "fig13": fig13,
     "faults_pingpong": faults.faults_pingpong,
     "faults_cg": faults.faults_cg,
+    "coll_hier": coll_hier,
 }
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {

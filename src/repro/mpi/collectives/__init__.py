@@ -14,26 +14,33 @@ operation    algorithms
 ===========  =====================================================
 bcast        ``binomial`` | ``linear`` | ``van_de_geijn`` |
              ``hierarchical`` | ``pipeline``
-reduce       ``binomial``
-allreduce    ``recursive_doubling`` | ``rabenseifner`` | ``reduce_bcast``
+reduce       ``binomial`` | ``hierarchical``
+allreduce    ``recursive_doubling`` | ``rabenseifner`` |
+             ``reduce_bcast`` | ``hierarchical``
 allgather    ``ring`` | ``recursive_doubling`` | ``bruck``
 alltoall     ``pairwise`` | ``bruck``
-gather       ``binomial`` | ``linear``
+gather       ``binomial`` | ``linear`` | ``hierarchical``
 scatter      ``binomial`` | ``linear``
-barrier      ``dissemination``
+barrier      ``dissemination`` | ``hierarchical``
 scan         ``linear``
 ===========  =====================================================
+
+The ``hierarchical`` family (the paper's §5 future work, after
+MPICH-G2's multilevel collectives) shares the site-leader election of
+:mod:`repro.mpi.collectives.hierarchy`: LAN-local combine, one WAN
+exchange among the elected leaders, LAN-local distribute.
 """
 
 from repro.errors import MpiError
 from repro.mpi.collectives.allgather import allgather_recursive_doubling, allgather_ring
 from repro.mpi.collectives.allreduce import (
+    allreduce_hierarchical,
     allreduce_rabenseifner,
     allreduce_recursive_doubling,
     allreduce_reduce_bcast,
 )
 from repro.mpi.collectives.alltoall import alltoall_pairwise, alltoallv_pairwise
-from repro.mpi.collectives.barrier import barrier_dissemination
+from repro.mpi.collectives.barrier import barrier_dissemination, barrier_hierarchical
 from repro.mpi.collectives.bcast import (
     bcast_binomial,
     bcast_hierarchical,
@@ -44,13 +51,14 @@ from repro.mpi.collectives.bruck import allgather_bruck, alltoall_bruck
 from repro.mpi.collectives.pipeline import bcast_pipeline, scan_linear
 from repro.mpi.collectives.gather_scatter import (
     gather_binomial,
+    gather_hierarchical,
     gather_linear,
     gatherv_linear,
     scatter_binomial,
     scatter_linear,
     scatterv_linear,
 )
-from repro.mpi.collectives.reduce import reduce_binomial
+from repro.mpi.collectives.reduce import reduce_binomial, reduce_hierarchical
 
 ALGORITHMS = {
     "bcast": {
@@ -60,11 +68,12 @@ ALGORITHMS = {
         "hierarchical": bcast_hierarchical,
         "pipeline": bcast_pipeline,
     },
-    "reduce": {"binomial": reduce_binomial},
+    "reduce": {"binomial": reduce_binomial, "hierarchical": reduce_hierarchical},
     "allreduce": {
         "recursive_doubling": allreduce_recursive_doubling,
         "rabenseifner": allreduce_rabenseifner,
         "reduce_bcast": allreduce_reduce_bcast,
+        "hierarchical": allreduce_hierarchical,
     },
     "allgather": {
         "ring": allgather_ring,
@@ -74,11 +83,18 @@ ALGORITHMS = {
     "alltoall": {"pairwise": alltoall_pairwise, "bruck": alltoall_bruck},
     "alltoallv": {"pairwise": alltoallv_pairwise},
     "scan": {"linear": scan_linear},
-    "gather": {"binomial": gather_binomial, "linear": gather_linear},
+    "gather": {
+        "binomial": gather_binomial,
+        "linear": gather_linear,
+        "hierarchical": gather_hierarchical,
+    },
     "gatherv": {"linear": gatherv_linear},
     "scatter": {"binomial": scatter_binomial, "linear": scatter_linear},
     "scatterv": {"linear": scatterv_linear},
-    "barrier": {"dissemination": barrier_dissemination},
+    "barrier": {
+        "dissemination": barrier_dissemination,
+        "hierarchical": barrier_hierarchical,
+    },
 }
 
 #: algorithm used when an implementation does not pin one

@@ -17,6 +17,13 @@
     split is impossible).
 ``reduce_bcast``
     naive composition, kept as an ablation baseline.
+``hierarchical``
+    topology-aware (§5 future work): LAN-local combine to each site
+    leader, one symmetric WAN exchange among the leaders (every leader
+    sends its partial to every other, all transfers overlapping),
+    LAN-local broadcast — ``S(S-1)`` WAN messages instead of the ``P``
+    full-vector crossings of recursive doubling's inter-site round, and
+    a single overlapped WAN traversal instead of a star's two.
 """
 
 from __future__ import annotations
@@ -27,6 +34,12 @@ import numpy as np
 
 from repro.obs import runtime as _obs
 from repro.mpi.collectives.bcast import SEGMENT_SWITCH_BYTES, bcast_binomial
+from repro.mpi.collectives.hierarchy import (
+    hier_span,
+    local_bcast,
+    local_reduce,
+    site_layout,
+)
 from repro.mpi.collectives.reduce import reduce_binomial
 from repro.mpi.collectives.segutil import chunk_sizes, is_array
 
@@ -176,4 +189,49 @@ def allreduce_rabenseifner(comm, tag: int, nbytes: int, payload: Any, op):
 def allreduce_reduce_bcast(comm, tag: int, nbytes: int, payload: Any, op):
     result = yield from reduce_binomial(comm, tag, 0, nbytes, payload, op)
     result = yield from bcast_binomial(comm, tag, 0, nbytes, result)
+    return result
+
+
+def allreduce_hierarchical(comm, tag: int, nbytes: int, payload: Any, op):
+    """LAN combine -> symmetric leader exchange -> LAN broadcast."""
+    layout = site_layout(comm, 0)
+    if layout.single_site:
+        result = yield from allreduce_recursive_doubling(comm, tag, nbytes, payload, op)
+        return result
+    rank = comm.rank
+
+    # Phase 1 (LAN): combine within each site to its leader.
+    t_lan = comm.env.now
+    result = yield from local_reduce(comm, tag, layout, nbytes, payload, op)
+    if len(layout.local) > 1:
+        hier_span(comm, "allreduce", "lan", t_lan, nbytes)
+
+    # Phase 2 (WAN): every leader sends its partial to every other leader
+    # and combines what it receives in leader-election order — the same
+    # order on every leader, so all sites compute the identical total.
+    # All transfers overlap: one WAN traversal, not a star's two.
+    if layout.is_leader:
+        t_wan = comm.env.now
+        partials = {rank: result}
+        requests = [
+            comm._cisend(leader, nbytes, result, tag)
+            for leader in layout.leaders
+            if leader != rank
+        ]
+        for leader in layout.leaders:
+            if leader != rank:
+                other, _ = yield from comm._crecv(leader, tag)
+                partials[leader] = other
+        for request in requests:
+            yield from request.wait()
+        result = partials[layout.leaders[0]]
+        for leader in layout.leaders[1:]:
+            result = op(result, partials[leader])
+        hier_span(comm, "allreduce", "wan", t_wan, nbytes)
+
+    # Phase 3 (LAN): leaders broadcast the total within their site.
+    t_out = comm.env.now
+    result = yield from local_bcast(comm, tag, layout, nbytes, result)
+    if len(layout.local) > 1:
+        hier_span(comm, "allreduce", "lan", t_out, nbytes)
     return result

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.obs import runtime as _obs
+from repro.mpi.collectives.hierarchy import hier_span, local_bcast, site_layout
 from repro.mpi.collectives.segutil import (
     chunk_sizes,
     is_array,
@@ -157,66 +158,23 @@ def bcast_van_de_geijn(comm, tag: int, root: int, nbytes: int, payload: Any):
 
 def bcast_hierarchical(comm, tag: int, root: int, nbytes: int, payload: Any):
     """Topology-aware: WAN once per site, then local binomial trees."""
-    clusters = comm.cluster_of_ranks()  # list: cluster name per rank
-    size, rank = comm.size, comm.rank
+    layout = site_layout(comm, root)
+    rank = comm.rank
 
-    # Leader of each cluster: its lowest rank (the root leads its own).
-    leaders: dict[str, int] = {}
-    for r in range(size):
-        leaders.setdefault(clusters[r], r)
-    leaders[clusters[root]] = root
-    my_leader = leaders[clusters[rank]]
-
-    sess = _obs.ACTIVE
-    trace_phases = sess is not None and sess.spans
-    obs_lane = f"rank{rank}"
-
-    # Phase 1: root -> other leaders (WAN).
+    # Phase 1: root -> other leaders (WAN, leader-election order).
     t_wan = comm.env.now
     if rank == root:
-        for cluster, leader in leaders.items():
+        for leader in layout.leaders:
             if leader != root:
                 yield from comm._csend(leader, nbytes, payload, tag)
-    elif rank == my_leader:
+    elif layout.is_leader:
         payload, _ = yield from comm._crecv(root, tag)
-    if trace_phases and rank in leaders.values():
-        sess.complete(
-            t_wan,
-            comm.env.now - t_wan,
-            "bcast.hier.wan",
-            "mpi.collective.phase",
-            obs_lane,
-            {"bytes": nbytes},
-        )
+    if layout.is_leader:
+        hier_span(comm, "bcast", "wan", t_wan, nbytes)
 
     # Phase 2: leader -> local ranks (binomial within the cluster).
-    t_local = comm.env.now
-    local = [r for r in range(size) if clusters[r] == clusters[rank]]
-    if len(local) > 1:
-        lrank = local.index(rank)
-        lroot = local.index(my_leader)
-        lsize = len(local)
-        vrank = (lrank - lroot) % lsize
-        mask = 1
-        while mask < lsize:
-            if vrank & mask:
-                src = local[(vrank - mask + lroot) % lsize]
-                payload, _ = yield from comm._crecv(src, tag)
-                break
-            mask <<= 1
-        mask >>= 1
-        while mask > 0:
-            if vrank + mask < lsize:
-                dst = local[(vrank + mask + lroot) % lsize]
-                yield from comm._csend(dst, nbytes, payload, tag)
-            mask >>= 1
-        if trace_phases:
-            sess.complete(
-                t_local,
-                comm.env.now - t_local,
-                "bcast.hier.local",
-                "mpi.collective.phase",
-                obs_lane,
-                {"bytes": nbytes},
-            )
+    t_lan = comm.env.now
+    if len(layout.local) > 1:
+        payload = yield from local_bcast(comm, tag, layout, nbytes, payload)
+        hier_span(comm, "bcast", "lan", t_lan, nbytes)
     return payload

@@ -1,0 +1,172 @@
+"""Site-leader election and LAN-local building blocks.
+
+The topology-aware collectives (MPICH-G2's multilevel scheme, the
+paper's §5 future work) all share one structure: combine inside each
+site over cheap LAN links, cross the WAN exactly once per site via an
+elected *leader*, then distribute locally again.  This module holds the
+pieces they share.
+
+Leader-election invariants (tested in ``test_hierarchical_collectives``):
+
+1. Election is a pure function of ``comm.cluster_of_ranks()`` (and the
+   root, for rooted operations) — every rank computes the identical
+   leader map with no communication.
+2. Each site's leader is its lowest-numbered rank, except the root's
+   site, which the root itself leads (the root never forwards through
+   an intermediary on its own LAN).
+3. Leaders depend only on site membership, never on rank contiguity:
+   an interleaved placement elects the same leaders as a contiguous
+   one.
+4. A single-site communicator degrades to the flat default algorithm —
+   the hierarchical dispatch adds no messages when there is no WAN.
+
+Phase spans ``coll.<op>.hier.{lan,wan}`` ride the ambient telemetry
+session (:mod:`repro.obs.runtime`) and cost nothing when it is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs import runtime as _obs
+
+
+@dataclass(frozen=True)
+class SiteLayout:
+    """One rank's view of the leader structure on one placement."""
+
+    rank: int
+    #: cluster name of every rank
+    clusters: tuple[str, ...]
+    #: one leader per site, in site first-appearance order (rank 0's
+    #: site first) — the deterministic WAN iteration order
+    leaders: tuple[int, ...]
+    #: leader of this rank's site
+    my_leader: int
+    #: ranks sharing this rank's site, ascending
+    local: tuple[int, ...]
+
+    @property
+    def single_site(self) -> bool:
+        return len(self.leaders) == 1
+
+    @property
+    def is_leader(self) -> bool:
+        return self.rank == self.my_leader
+
+
+def site_layout(comm, root: int = 0) -> SiteLayout:
+    """Elect one leader per site (see the module invariants).
+
+    For rootless operations pass ``root=0``: rank 0 is trivially the
+    lowest rank of its own site, so the override is a no-op and the
+    election is the pure lowest-rank-per-site map.
+    """
+    clusters = comm.cluster_of_ranks()
+    leaders: dict[str, int] = {}
+    for r in range(comm.size):
+        leaders.setdefault(clusters[r], r)
+    leaders[clusters[root]] = root
+    return SiteLayout(
+        rank=comm.rank,
+        clusters=tuple(clusters),
+        leaders=tuple(leaders.values()),
+        my_leader=leaders[clusters[comm.rank]],
+        local=tuple(
+            r for r in range(comm.size) if clusters[r] == clusters[comm.rank]
+        ),
+    )
+
+
+def hier_span(comm, op: str, phase: str, t_start, nbytes: int) -> None:
+    """Record one ``coll.<op>.hier.<phase>`` span on this rank's lane."""
+    sess = _obs.ACTIVE
+    if sess is None or not sess.spans:
+        return
+    sess.complete(
+        t_start,
+        comm.env.now - t_start,
+        f"coll.{op}.hier.{phase}",
+        "mpi.collective.phase",
+        f"rank{comm.rank}",
+        {"bytes": nbytes},
+    )
+
+
+# --- LAN-local building blocks ---------------------------------------------------
+# All three walk a binomial tree over ``layout.local`` rooted at the site
+# leader; only the list indices are virtual ranks, the wire carries the
+# real global ranks.
+
+
+def local_bcast(comm, tag: int, layout: SiteLayout, nbytes: int, payload: Any):
+    """Leader -> every local rank (binomial); returns the payload."""
+    local = layout.local
+    lsize = len(local)
+    if lsize == 1:
+        return payload
+    lroot = local.index(layout.my_leader)
+    vrank = (local.index(comm.rank) - lroot) % lsize
+    mask = 1
+    while mask < lsize:
+        if vrank & mask:
+            src = local[(vrank - mask + lroot) % lsize]
+            payload, _ = yield from comm._crecv(src, tag)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < lsize:
+            dst = local[(vrank + mask + lroot) % lsize]
+            yield from comm._csend(dst, nbytes, payload, tag)
+        mask >>= 1
+    return payload
+
+
+def local_reduce(comm, tag: int, layout: SiteLayout, nbytes: int, payload: Any, op):
+    """Every local rank -> leader (binomial combine); the leader returns
+    the site partial, everyone else ``None``."""
+    local = layout.local
+    lsize = len(local)
+    if lsize == 1:
+        return payload
+    lroot = local.index(layout.my_leader)
+    vrank = (local.index(comm.rank) - lroot) % lsize
+    result = payload
+    mask = 1
+    while mask < lsize:
+        if vrank & mask:
+            dst = local[(vrank - mask + lroot) % lsize]
+            yield from comm._csend(dst, nbytes, result, tag)
+            return None
+        partner = vrank + mask
+        if partner < lsize:
+            other, _ = yield from comm._crecv(local[(partner + lroot) % lsize], tag)
+            result = op(result, other)
+        mask <<= 1
+    return result
+
+
+def local_gather(comm, tag: int, layout: SiteLayout, nbytes_each: int, payload: Any):
+    """Every local rank -> leader; the leader returns a bundle keyed by
+    *global* rank, everyone else ``None``."""
+    local = layout.local
+    lsize = len(local)
+    if lsize == 1:
+        return {comm.rank: payload}
+    lroot = local.index(layout.my_leader)
+    vrank = (local.index(comm.rank) - lroot) % lsize
+    bundle: dict[int, Any] = {comm.rank: payload}
+    mask = 1
+    while mask < lsize:
+        if vrank & mask:
+            dst = local[(vrank - mask + lroot) % lsize]
+            yield from comm._csend(dst, nbytes_each * len(bundle), bundle, tag)
+            return None
+        child = vrank + mask
+        if child < lsize:
+            received, _ = yield from comm._crecv(local[(child + lroot) % lsize], tag)
+            bundle.update(received)
+        mask <<= 1
+    return bundle

@@ -1,8 +1,19 @@
-"""Reduction to a root: binomial tree (mirror image of the broadcast)."""
+"""Reduction to a root.
+
+``binomial``
+    log2(P) rounds mirroring the broadcast tree; on a grid split several
+    tree edges cross the WAN with the full vector.
+``hierarchical``
+    topology-aware (§5 future work): each site combines locally to its
+    leader, then every non-root leader crosses the WAN exactly once with
+    its site partial — ``S-1`` WAN messages instead of up to ``P/2``.
+"""
 
 from __future__ import annotations
 
 from typing import Any
+
+from repro.mpi.collectives.hierarchy import hier_span, local_reduce, site_layout
 
 
 def reduce_binomial(comm, tag: int, root: int, nbytes: int, payload: Any, op):
@@ -21,3 +32,32 @@ def reduce_binomial(comm, tag: int, root: int, nbytes: int, payload: Any, op):
             result = op(result, other)
         mask <<= 1
     return result if rank == root else None
+
+
+def reduce_hierarchical(comm, tag: int, root: int, nbytes: int, payload: Any, op):
+    """LAN-local combine -> one WAN message per non-root site -> root."""
+    layout = site_layout(comm, root)
+    if layout.single_site:
+        result = yield from reduce_binomial(comm, tag, root, nbytes, payload, op)
+        return result
+    rank = comm.rank
+
+    # Phase 1 (LAN): combine within each site to its leader.
+    t_lan = comm.env.now
+    partial = yield from local_reduce(comm, tag, layout, nbytes, payload, op)
+    if len(layout.local) > 1:
+        hier_span(comm, "reduce", "lan", t_lan, nbytes)
+
+    # Phase 2 (WAN): non-root leaders hand their site partial to the root
+    # (which leads its own site), combined in leader-election order.
+    t_wan = comm.env.now
+    if rank == root:
+        for leader in layout.leaders:
+            if leader != root:
+                other, _ = yield from comm._crecv(leader, tag)
+                partial = op(partial, other)
+    elif layout.is_leader:
+        yield from comm._csend(root, nbytes, partial, tag)
+    if layout.is_leader:
+        hier_span(comm, "reduce", "wan", t_wan, nbytes)
+    return partial if rank == root else None

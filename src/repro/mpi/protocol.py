@@ -104,6 +104,8 @@ class Protocol:
         impl = self.impl
         link = self.transport.link(src, dst)
         self.trace.record_p2p(src, dst, tag, nbytes, context)
+        if link.inter_site:
+            self.trace.record_inter_site(nbytes)
 
         sess = _obs.ACTIVE
         t_post = env.now

@@ -93,8 +93,9 @@ class MessageTrace:
         self.collective_calls: Counter = Counter()
         #: Counter[(src, dst)] -> messages (for placement diagnostics)
         self.pair_counts: Counter = Counter()
-        #: messages crossing a WAN link
+        #: messages crossing a WAN link, and the payload bytes they carry
         self.inter_site_messages: int = 0
+        self.inter_site_bytes: int = 0
 
     # -- recording -------------------------------------------------------------
     def record_p2p(self, src: int, dst: int, tag: int, nbytes: int, context: str) -> None:
@@ -106,6 +107,7 @@ class MessageTrace:
     def record_inter_site(self, nbytes: int) -> None:
         if self.enabled:
             self.inter_site_messages += 1
+            self.inter_site_bytes += nbytes
 
     def record_collective(self, op: str) -> None:
         if self.enabled:

@@ -29,14 +29,23 @@ from repro.npb.common import (
     FLOP_COUNTS,
     validate_config,
 )
-from repro.npb.suite import NpbResult, get_benchmark, run_npb, run_suite
+from repro.npb.suite import (
+    KnownFailure,
+    NpbResult,
+    get_benchmark,
+    locate_known_failure,
+    run_npb,
+    run_suite,
+)
 
 __all__ = [
     "BENCHMARK_NAMES",
     "CLASS_NAMES",
     "COMM_TYPE",
     "FLOP_COUNTS",
+    "KnownFailure",
     "NpbResult",
+    "locate_known_failure",
     "get_benchmark",
     "run_npb",
     "run_suite",

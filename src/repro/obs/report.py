@@ -14,6 +14,10 @@ say about the mechanism:
   start.  The report replays the 1 MB message stream per stack and lines
   up the congestion-window samples, slow-start exit times and loss
   counts next to the time each stack needs to reach 500 Mbps.
+* **coll_hier** — why the site-hierarchical collectives win (and where
+  they don't): per-call WAN-crossing and WAN-byte counts for the flat
+  and hierarchical variants, from the message trace of the ``coll_hier``
+  experiment's single-call probes.
 
 Reports are deterministic: they are derived purely from simulation state
 (the same experiment + seed renders byte-identical text), which the test
@@ -33,13 +37,16 @@ _FIG7_SIZES_FULL = (32 * KB, 64 * KB, 128 * KB, 256 * KB, 512 * KB, 1 * MB, 4 * 
 
 
 def explain(figure: str, fast: bool = True) -> str:
-    """Render the diagnosis report for ``figure`` (``fig7`` or ``fig9``)."""
+    """Render the diagnosis report for ``figure`` (``fig7``, ``fig9`` or
+    ``coll_hier``)."""
     if figure == "fig7":
         return explain_fig7(fast=fast)
     if figure == "fig9":
         return explain_fig9(fast=fast)
+    if figure == "coll_hier":
+        return explain_coll_hier(fast=fast)
     raise ReproError(
-        f"no diagnosis report for {figure!r} (available: fig7, fig9)"
+        f"no diagnosis report for {figure!r} (available: fig7, fig9, coll_hier)"
     )
 
 
@@ -222,3 +229,47 @@ def explain_fig9(fast: bool = True) -> str:
         y_label="kB",
     )
     return "\n".join([header, "", table.render(), "", chart])
+
+
+def explain_coll_hier(fast: bool = True) -> str:
+    """Why the hierarchy helps: count what actually crosses the WAN."""
+    from repro.experiments import coll_hier
+
+    result = coll_hier.run(fast=fast)
+    table = Table(
+        [
+            "collective",
+            "size",
+            "flat WAN msgs",
+            "hier WAN msgs",
+            "flat WAN bytes",
+            "hier WAN bytes",
+            "speedup",
+        ],
+        title="coll_hier explained: per-call WAN crossings, flat vs hierarchical",
+    )
+    for row in result.rows:
+        table.add_row(
+            [
+                f"{row['op']} ({row['flat_algorithm']})",
+                fmt_bytes(row["nbytes"]),
+                int(row["wan_msgs_flat"]),
+                int(row["wan_msgs_hier"]),
+                fmt_bytes(row["wan_bytes_flat"]),
+                fmt_bytes(row["wan_bytes_hier"]),
+                f"x{row['speedup']:.2f}",
+            ]
+        )
+    header = (
+        "A flat collective schedules its tree over rank numbers, blind to\n"
+        "sites: under the cyclic rank placement almost every tree edge is a\n"
+        "WAN edge, so O(P) full payloads cross the 11.6 ms path per call.\n"
+        "The hierarchical variants elect one leader per site (lowest rank;\n"
+        "the root's site keeps the root) and only leaders talk across the\n"
+        "WAN.  For reduce/allreduce the partials combine *before* crossing,\n"
+        "cutting WAN bytes by the site fan-in — that is the large-message\n"
+        "speedup.  Gather's bytes are irreducible (everything must reach the\n"
+        "root), so its single aggregated transfer saves crossings but loses\n"
+        "the flat tree's parallel WAN streams once bandwidth dominates:"
+    )
+    return "\n".join([header, "", table.render()])

@@ -10,36 +10,61 @@ Reproduces the paper's §4.2 reasoning:
    OpenMPI needs explicit ``-mca btl_tcp_sndbuf/btl_tcp_rcvbuf``;
 3. the eager/rendezvous threshold should exceed the largest message the
    application sends (Table 5: 65 MB, or the 32 MB OpenMPI maximum).
+
+The advisor is a closed loop, not a lookup table: give
+:func:`tune_for_grid` a ``network`` and both knobs are *measured*
+(:mod:`repro.tuning.measure` — per-link RTT/bandwidth probes feed
+:func:`advise_buffer_bytes`, a threshold sweep feeds
+:func:`repro.tuning.measure.advise_eager_threshold`).  Without one it
+falls back to the paper's constants.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.impls.base import MpiImplementation
 from repro.net.topology import Network
 from repro.tcp.sysctl import SysctlConfig
-from repro.units import MB, fmt_bytes
+from repro.units import MB, Size, fmt_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (measure uses bdp_bytes)
+    from repro.tuning.measure import LinkProbe
 
 #: Table 5's tuned threshold ("65 MB": above the 64 MB sweep maximum).
-GRID_EAGER_THRESHOLD = 65 * MB
+GRID_EAGER_THRESHOLD: Size = Size(65 * MB)
+
+#: the paper's §4.2.1 buffer choice
+GRID_BUFFER_BYTES: Size = Size(4 * MB)
 
 
-def bdp_bytes(rtt_seconds: float, bandwidth_bps: float) -> int:
+def bdp_bytes(rtt_seconds: float, bandwidth_bps: float) -> Size:
     """Bandwidth-delay product: the minimum useful socket buffer."""
     if rtt_seconds <= 0 or bandwidth_bps <= 0:
         raise ReproError("RTT and bandwidth must be positive")
-    return int(math.ceil(rtt_seconds * bandwidth_bps / 8.0))
+    return Size(int(math.ceil(rtt_seconds * bandwidth_bps / 8.0)))
 
 
-def advise_buffer_bytes(network: Network, headroom: float = 1.6) -> int:
+def advise_buffer_bytes(
+    network: Network,
+    headroom: float = 1.6,
+    probes: "Optional[Sequence[LinkProbe]]" = None,
+) -> Size:
     """A single buffer size serving every path of the grid: the worst
     inter-site BDP times ``headroom``, rounded up to a whole MiB.
 
-    For the paper's testbed this lands on 4 MiB, exactly their choice.
+    With ``probes`` (from :func:`repro.tuning.measure.probe_network`) the
+    BDPs come from *measured* RTT/bandwidth; otherwise from the declared
+    topology.  For the paper's testbed both land on 4 MiB, exactly their
+    choice.
     """
+    if probes is not None:
+        from repro.tuning.measure import measured_buffer_bytes
+
+        return measured_buffer_bytes(probes, headroom=headroom)
     worst = 0
     names = sorted(network.clusters)
     for i, a in enumerate(names):
@@ -55,16 +80,41 @@ def advise_buffer_bytes(network: Network, headroom: float = 1.6) -> int:
             worst = max(worst, bdp_bytes(rtt, cap))
     if worst == 0:
         raise ReproError("network has no inter-site paths to tune for")
-    return int(math.ceil(worst * headroom / MB)) * MB
+    return Size(int(math.ceil(worst * headroom / MB)) * MB)
 
 
 def tune_for_grid(
     impl: MpiImplementation,
-    buffer_bytes: int = 4 * MB,
-    eager_threshold: float = GRID_EAGER_THRESHOLD,
+    buffer_bytes: Optional[Size] = None,
+    eager_threshold: Optional[Size] = None,
+    network: Optional[Network] = None,
+    sysctls: Optional[SysctlConfig] = None,
 ) -> MpiImplementation:
-    """Apply the full §4.2 recipe to one implementation."""
-    return impl.with_socket_buffers(buffer_bytes).with_eager_threshold(eager_threshold)
+    """Apply the full §4.2 recipe to one implementation.
+
+    With a ``network``, any knob left unset is measured from it (the
+    closed loop); without one, the paper's constants apply.  The eager
+    threshold is clamped to ``impl.max_eager_threshold`` here — the same
+    clamp :func:`render_recipe` applies — so the simulated implementation
+    and the rendered human recipe always agree.
+    """
+    if network is not None:
+        if buffer_bytes is None:
+            from repro.tuning.measure import probe_network
+
+            buffer_bytes = advise_buffer_bytes(
+                network, probes=probe_network(network, sysctls=sysctls)
+            )
+        if eager_threshold is None:
+            from repro.tuning.measure import advise_eager_threshold
+
+            eager_threshold = advise_eager_threshold(impl, network, sysctls=sysctls)
+    if buffer_bytes is None:
+        buffer_bytes = GRID_BUFFER_BYTES
+    if eager_threshold is None:
+        eager_threshold = GRID_EAGER_THRESHOLD
+    threshold = min(eager_threshold, impl.max_eager_threshold)
+    return impl.with_socket_buffers(buffer_bytes).with_eager_threshold(threshold)
 
 
 @dataclass(frozen=True)
@@ -74,13 +124,17 @@ class TuningRecipe:
     impl_name: str
     sysctl_commands: tuple[str, ...]
     steps: tuple[str, ...]
+    #: the concrete values the steps encode — what the regression tests
+    #: compare against the simulated implementation's settings
+    buffer_bytes: int
+    eager_threshold: float
 
 
 def render_recipe(
     impl: MpiImplementation,
     sysctls: SysctlConfig,
-    buffer_bytes: int = 4 * MB,
-    eager_threshold: float = GRID_EAGER_THRESHOLD,
+    buffer_bytes: Size = GRID_BUFFER_BYTES,
+    eager_threshold: Size = GRID_EAGER_THRESHOLD,
 ) -> TuningRecipe:
     """The paper's §4.2 instructions, rendered per implementation."""
     steps: list[str] = []
@@ -116,4 +170,6 @@ def render_recipe(
         impl_name=impl.name,
         sysctl_commands=tuple(sysctls.render_commands()),
         steps=tuple(steps),
+        buffer_bytes=int(buffer_bytes),
+        eager_threshold=threshold,
     )

@@ -1,0 +1,196 @@
+"""Closing the advisor loop: measure the network, then tune.
+
+The advisor's constants (``4 MB`` buffers, Table 5's ``65 MB``
+threshold) come straight from the paper; this module derives the same
+numbers from *measurement alone*, the way an operator on an unknown
+grid would:
+
+1. :func:`probe_network` runs a raw-TCP pingpong over every inter-site
+   pair — the minimum 1-byte round trip is the path RTT, the best
+   large-message goodput is the usable bandwidth;
+2. :func:`repro.tuning.advisor.advise_buffer_bytes` accepts those
+   probes and sizes the socket buffers from the measured
+   bandwidth-delay products;
+3. :func:`advise_eager_threshold` sweeps eager vs. rendezvous at each
+   message size (:mod:`repro.tuning.sweep`) and returns the measured
+   crossover, clamped to the implementation's maximum — Table 5,
+   automated.
+
+``tune_for_grid(impl, network=...)`` chains all three.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.impls.base import MpiImplementation
+from repro.net.topology import Network, Node
+from repro.units import MB, Rate, Size
+
+#: the large message of the bandwidth probe — big enough that TCP's
+#: slow-start ramp is amortised and the extra round-trip time over the
+#: 1-byte probe is dominated by steady-state serialisation
+PROBE_BANDWIDTH_BYTES: Size = Size(256 * MB)
+
+#: the probe's socket buffers (``iperf -w`` style): explicitly huge so
+#: the measurement sees the path, not the probing host's window
+PROBE_WINDOW_BYTES: Size = Size(32 * MB)
+
+
+@dataclass(frozen=True)
+class LinkProbe:
+    """Measured properties of one inter-site path."""
+
+    site_a: str
+    site_b: str
+    #: minimum 1-byte round trip (the path RTT)
+    rtt_seconds: float
+    #: best large-message goodput, bits per second
+    bandwidth_bps: Rate
+
+    @property
+    def bdp(self) -> Size:
+        """Measured bandwidth-delay product: the minimum useful buffer."""
+        from repro.tuning.advisor import bdp_bytes
+
+        return Size(bdp_bytes(self.rtt_seconds, self.bandwidth_bps))
+
+
+def probe_link(
+    network: Network,
+    node_a: Node,
+    node_b: Node,
+    repeats: int = 3,
+    bandwidth_bytes: Size = PROBE_BANDWIDTH_BYTES,
+    sysctls=None,
+) -> tuple[float, Rate]:
+    """Measure one path: ``(rtt_seconds, bandwidth_bps)``.
+
+    Raw TCP (no MPI layer): the probe must see the path, not an
+    implementation's protocol choices.  The 1-byte minimum round trip is
+    the RTT.  Bandwidth uses the packet-pair idea: the *extra* round-trip
+    time the large message needs over the 1-byte one is pure
+    serialisation, so the fixed latency cancels out of the estimate.
+    The probe pins huge socket buffers (``iperf -w`` style) and repeats
+    the transfer so slow start has opened the window by the best round.
+    """
+    from repro.apps.pingpong import tcp_pingpong
+    from repro.tcp.buffers import BufferPolicy
+    from repro.tcp.connection import TcpOptions
+
+    window = BufferPolicy(
+        "fixed", sndbuf=int(PROBE_WINDOW_BYTES), rcvbuf=int(PROBE_WINDOW_BYTES)
+    )
+    curve = tcp_pingpong(
+        network,
+        node_a,
+        node_b,
+        sizes=(1, int(bandwidth_bytes)),
+        repeats=repeats,
+        sysctls=sysctls,
+        options=TcpOptions(buffer_policy=window),
+    )
+    rtt = curve.points[0].min_rtt
+    extra = curve.points[1].min_rtt - rtt
+    if extra <= 0:
+        raise ReproError("bandwidth probe needs a larger message than the path RTT")
+    bandwidth = Rate(int(bandwidth_bytes) * 8.0 * 2.0 / extra)
+    return rtt, bandwidth
+
+
+def probe_network(
+    network: Network,
+    repeats: int = 3,
+    bandwidth_bytes: Size = PROBE_BANDWIDTH_BYTES,
+    sysctls=None,
+) -> tuple[LinkProbe, ...]:
+    """Probe every routable inter-site pair (first node of each site)."""
+    probes = []
+    names = sorted(network.clusters)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            try:
+                network.rtt(a, b)
+            except ReproError:
+                continue
+            rtt, bandwidth = probe_link(
+                network,
+                network.clusters[a].nodes[0],
+                network.clusters[b].nodes[0],
+                repeats=repeats,
+                bandwidth_bytes=bandwidth_bytes,
+                sysctls=sysctls,
+            )
+            probes.append(LinkProbe(a, b, rtt, bandwidth))
+    if not probes:
+        raise ReproError("network has no inter-site paths to probe")
+    return tuple(probes)
+
+
+def measured_buffer_bytes(
+    probes: Sequence[LinkProbe], headroom: float = 1.6
+) -> Size:
+    """Buffer advice from measured BDPs: worst path times ``headroom``,
+    rounded up to a whole MiB (the declared-topology twin lives in
+    :func:`repro.tuning.advisor.advise_buffer_bytes`)."""
+    if not probes:
+        raise ReproError("no link probes to derive a buffer size from")
+    worst = max(p.bdp for p in probes)
+    return Size(int(math.ceil(worst * headroom / MB)) * MB)
+
+
+def advise_eager_threshold(
+    impl: MpiImplementation,
+    network: Network,
+    node_a: Optional[Node] = None,
+    node_b: Optional[Node] = None,
+    sizes: Optional[Sequence[int]] = None,
+    repeats: int = 4,
+    sysctls=None,
+) -> Size:
+    """Table 5, automated: the measured eager/rendezvous crossover.
+
+    Runs the sweep of :func:`repro.tuning.sweep.measure_ideal_threshold`
+    on the *worst* inter-site path (or an explicit node pair) and
+    returns the smallest safe threshold as a byte count, clamped to the
+    implementation's maximum (OpenMPI: 32 MB).
+    """
+    if node_a is None or node_b is None:
+        node_a, node_b = worst_inter_site_pair(network)
+    from repro.tuning.sweep import measure_ideal_threshold
+
+    return Size(
+        int(
+            measure_ideal_threshold(
+                impl,
+                network,
+                node_a,
+                node_b,
+                sizes=sizes,
+                repeats=repeats,
+                sysctls=sysctls,
+            )
+        )
+    )
+
+
+def worst_inter_site_pair(network: Network) -> tuple[Node, Node]:
+    """The node pair spanning the highest-RTT inter-site path — the path
+    whose threshold dominates grid-wide tuning."""
+    worst: Optional[tuple[float, str, str]] = None
+    names = sorted(network.clusters)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            try:
+                rtt = network.rtt(a, b)
+            except ReproError:
+                continue
+            if worst is None or rtt > worst[0]:
+                worst = (rtt, a, b)
+    if worst is None:
+        raise ReproError("network has no inter-site paths to probe")
+    _, a, b = worst
+    return network.clusters[a].nodes[0], network.clusters[b].nodes[0]

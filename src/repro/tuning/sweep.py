@@ -16,10 +16,10 @@ from dataclasses import dataclass
 from repro.apps.pingpong import mpi_pingpong
 from repro.impls.base import MpiImplementation
 from repro.net.topology import Network, Node
-from repro.units import MB, log2_sizes
+from repro.units import MB, Size, log2_sizes
 
 #: reported when eager wins at every probed size (Table 5's "65 MB")
-ABOVE_MAX = 65 * MB
+ABOVE_MAX: Size = Size(65 * MB)
 
 
 @dataclass(frozen=True)
@@ -74,7 +74,7 @@ def measure_ideal_threshold(
     sizes=None,
     repeats: int = 10,
     sysctls=None,
-) -> float:
+) -> Size:
     """The smallest safe threshold: just above the largest eager-winning
     size (≈ "never use rendezvous" when eager wins everywhere), clamped to
     the implementation's maximum."""
@@ -83,6 +83,6 @@ def measure_ideal_threshold(
     )
     losing = [p.nbytes for p in points if not p.eager_wins]
     if not losing:
-        return min(ABOVE_MAX, impl.max_eager_threshold)
+        return Size(int(min(ABOVE_MAX, impl.max_eager_threshold)))
     # eager stops winning somewhere: threshold sits below the first loss
-    return float(min(min(losing), impl.max_eager_threshold))
+    return Size(int(min(min(losing), impl.max_eager_threshold)))

@@ -21,7 +21,7 @@ def test_registry_covers_every_table_and_figure():
     expected = {
         "table1", "table2", "table3", "table4", "table5", "table6", "table7",
         "fig3", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "faults_pingpong", "faults_cg",
+        "faults_pingpong", "faults_cg", "coll_hier",
     }
     assert set(EXPERIMENTS) == expected
 

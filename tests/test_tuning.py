@@ -3,19 +3,26 @@
 import pytest
 
 from repro.errors import ReproError
-from repro.impls import ALL_IMPLEMENTATIONS, get_implementation
+from repro.impls import (
+    ALL_IMPLEMENTATIONS,
+    IMPLEMENTATION_ORDER,
+    get_implementation,
+)
 from repro.net import build_pair_testbed, build_ray2mesh_testbed
 from repro.tcp import TUNED_SYSCTLS
 from repro.tuning import (
     advise_buffer_bytes,
+    advise_eager_threshold,
     bdp_bytes,
     measure_ideal_threshold,
+    probe_network,
     render_recipe,
     threshold_sweep,
     tune_for_grid,
+    worst_inter_site_pair,
 )
 from repro.tuning.sweep import ABOVE_MAX
-from repro.units import Gbps, KB, MB, msec
+from repro.units import Gbps, KB, MB, Size, msec
 
 
 def test_bdp_rennes_nancy():
@@ -110,3 +117,80 @@ def test_threshold_sweep_points_show_rndv_penalty():
 
 def test_above_max_constant():
     assert ABOVE_MAX == 65 * MB
+
+
+# --- the closed loop: measure, then tune -------------------------------------------
+def test_probe_network_measures_every_inter_site_pair():
+    net = build_ray2mesh_testbed()
+    probes = probe_network(net, sysctls=TUNED_SYSCTLS)
+    pairs = {(p.site_a, p.site_b) for p in probes}
+    assert len(pairs) == 6  # C(4,2) site pairs, all routable
+    worst = max(probes, key=lambda p: p.rtt_seconds)
+    assert {worst.site_a, worst.site_b} == {"nancy", "sophia"}  # 19.93 ms
+    assert worst.rtt_seconds == pytest.approx(msec(19.93), rel=0.01)
+    # steady-state goodput, not the window-limited ramp
+    assert worst.bandwidth_bps > 900e6
+
+
+def test_measured_buffer_advice_matches_declared_topology():
+    """The probes must reach the same 4 MB the paper derives from the
+    declared RTT/bandwidth — measurement closes the loop, it does not
+    drift from it."""
+    net = build_ray2mesh_testbed()
+    probes = probe_network(net, sysctls=TUNED_SYSCTLS)
+    assert advise_buffer_bytes(net, probes=probes) == advise_buffer_bytes(net)
+    assert advise_buffer_bytes(net, probes=probes) == 4 * MB
+
+
+def test_advise_eager_threshold_reproduces_table5():
+    """Table 5 from measurement alone: 65 MB everywhere, 32 MB for
+    OpenMPI (its eager-limit maximum)."""
+    net = build_pair_testbed(nodes_per_site=1)
+    expected = {
+        "mpich2": 65 * MB,
+        "gridmpi": 65 * MB,
+        "madeleine": 65 * MB,
+        "openmpi": 32 * MB,
+    }
+    sizes = [256 * KB, MB, 4 * MB]
+    for name in IMPLEMENTATION_ORDER:
+        impl = get_implementation(name)
+        advised = advise_eager_threshold(
+            impl, net, sizes=sizes, repeats=2, sysctls=TUNED_SYSCTLS
+        )
+        assert advised == expected[name], name
+        assert isinstance(advised, int)  # a byte count, not a float
+
+
+def test_tune_for_grid_closed_loop_measures_both_knobs():
+    net = build_pair_testbed(nodes_per_site=1)
+    tuned = tune_for_grid(
+        get_implementation("openmpi"), network=net, sysctls=TUNED_SYSCTLS
+    )
+    assert tuned.eager_threshold == 32 * MB  # measured, then clamped
+    assert tuned.buffer_policy.mode == "fixed"
+    assert tuned.buffer_policy.sndbuf % MB == 0
+
+
+def test_recipe_and_simulation_agree_for_every_impl():
+    """Satellite regression: the rendered human recipe and the simulated
+    implementation must encode the same knob values — the clamp lives in
+    both paths, so neither can drift."""
+    for name in IMPLEMENTATION_ORDER:
+        impl = get_implementation(name)
+        tuned = tune_for_grid(impl)
+        recipe = render_recipe(impl, TUNED_SYSCTLS)
+        assert recipe.eager_threshold == tuned.eager_threshold, name
+        if tuned.buffer_policy.mode == "fixed":
+            assert recipe.buffer_bytes == tuned.buffer_policy.sndbuf, name
+        # and an explicit oversized request clamps identically in both
+        big = Size(128 * MB)
+        tuned_big = tune_for_grid(impl, eager_threshold=big)
+        recipe_big = render_recipe(impl, TUNED_SYSCTLS, eager_threshold=big)
+        assert recipe_big.eager_threshold == tuned_big.eager_threshold, name
+
+
+def test_worst_inter_site_pair_picks_highest_rtt():
+    net = build_ray2mesh_testbed()
+    a, b = worst_inter_site_pair(net)
+    assert {a.cluster.name, b.cluster.name} == {"nancy", "sophia"}

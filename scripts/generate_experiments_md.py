@@ -65,6 +65,15 @@ DIAGNOSIS = {
         "slow-start exit time and loss count next to its time-to-500-Mbps, "
         "with an ASCII cwnd-ramp chart per stack."
     ),
+    "fig10": (
+        "`repro explain fig10` replays the NPB campaign with the span "
+        "recorder on and breaks each kernel's rank time into its "
+        "`npb.phase.*` spans (tick-exact, grid vs cluster side by side), "
+        "then aggregates the site-tagged `tcp.transmit`/`rndv.handshake` "
+        "spans into a WAN-time matrix per site pair — naming the phase "
+        "and the inter-site link that the grid slowdown lives in.  "
+        "`repro flame fig10` renders the same payload as a flamegraph."
+    ),
     "coll_hier": (
         "`repro explain coll_hier` counts what actually crosses the WAN: "
         "per-call inter-site messages and bytes for the flat and "

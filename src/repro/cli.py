@@ -14,6 +14,10 @@ Examples::
     repro run all --metrics-out m   # metric dumps (JSON + CSV) to m/
     repro explain fig7              # why the 128 kB rendezvous dip happens
     repro explain fig9              # the slow-start ramp, stack by stack
+    repro explain fig10             # NPB phase x site-pair grid diagnosis
+    repro flame fig10               # span analytics: frames, WAN matrix, path
+    repro flame fig10 --collapsed   # collapsed stacks for external tools
+    repro flame fig10 --svg --out f.svg   # deterministic flamegraph SVG
     repro profile table7            # cProfile hotspot table of one experiment
     repro profile fig9 --record     # also log the top rows to the manifest
     repro query fig7                # cached results + provenance, no re-run
@@ -192,11 +196,58 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument(
         "figure",
-        choices=("fig7", "fig9", "coll_hier"),
+        choices=("fig7", "fig9", "fig10", "coll_hier"),
         help="figure/experiment to explain",
     )
     explain.add_argument(
         "--full", action="store_true", help="paper-scale probe runs (slower)"
+    )
+    explain.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=1,
+        metavar="N",
+        help="worker processes for the fig10 diagnosis campaign "
+        "(the report is byte-identical for any value)",
+    )
+
+    flame = sub.add_parser(
+        "flame",
+        help="span analytics of one traced experiment: flamegraph, "
+        "WAN-time matrix, critical path",
+    )
+    flame.add_argument("experiment", help="experiment id, e.g. fig10")
+    flame.add_argument(
+        "--full", action="store_true", help="paper-scale configuration (slow)"
+    )
+    flame.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=1,
+        metavar="N",
+        help="worker processes (the output is byte-identical for any value)",
+    )
+    flame_mode = flame.add_mutually_exclusive_group()
+    flame_mode.add_argument(
+        "--collapsed",
+        action="store_true",
+        help="emit collapsed stacks (`a;b;c ticks`) for external flamegraph tools",
+    )
+    flame_mode.add_argument(
+        "--svg",
+        action="store_true",
+        help="emit a self-contained deterministic flamegraph SVG",
+    )
+    flame_mode.add_argument(
+        "--site-pairs",
+        action="store_true",
+        help="emit only the per-site-pair WAN-time matrix",
+    )
+    flame.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the output to PATH instead of stdout",
     )
 
     profile = sub.add_parser(
@@ -484,8 +535,106 @@ def _cmd_cache(args) -> int:
 def _cmd_explain(args) -> int:
     from repro.obs.report import explain
 
-    print(explain(args.figure, fast=not args.full))
+    print(explain(args.figure, fast=not args.full, jobs=args.jobs))
     return 0
+
+
+def _cmd_flame(args) -> int:
+    from repro.experiments import get_experiment
+    from repro.obs import aggregate as agg
+    from repro.obs.flame import experiment_payload, render_collapsed, render_svg
+    from repro.report import Table
+    from repro.units import fmt_bytes
+
+    get_experiment(args.experiment)  # unknown ids raise before simulating
+    payload = experiment_payload(args.experiment, fast=not args.full, jobs=args.jobs)
+    stacks = agg.collapsed_stacks(payload)
+
+    if args.collapsed:
+        text = render_collapsed(stacks)
+    elif args.svg:
+        text = render_svg(stacks, title=f"{args.experiment} span flamegraph")
+    elif args.site_pairs:
+        text = _flame_site_pairs(agg, payload, fmt_bytes, Table) + "\n"
+    else:
+        frames = agg.frame_stats(payload)
+        top = Table(
+            ["stack", "calls", "self s", "cum s"],
+            title=f"{args.experiment}: top frames by self time "
+            "(virtual seconds; one tick = 1 us)",
+        )
+        ranked = sorted(frames.values(), key=lambda f: (-f.self_ticks, f.key))
+        for frame in ranked[:20]:
+            top.add_row(
+                [
+                    frame.key,
+                    frame.calls,
+                    f"{frame.self_ticks / 1e6:.3f}",
+                    f"{frame.cum_ticks / 1e6:.3f}",
+                ]
+            )
+        chain = agg.critical_path(payload)
+        crit = Table(
+            ["depth", "span", "lane", "s"],
+            title="critical path (longest last-finishing chain)",
+        )
+        for hop in chain:
+            crit.add_row(
+                [
+                    hop["depth"],
+                    hop["name"],
+                    hop["lane"],
+                    f"{hop['ticks'] / 1e6:.3f}",
+                ]
+            )
+        text = "\n\n".join(
+            [
+                top.render(),
+                _flame_site_pairs(agg, payload, fmt_bytes, Table),
+                crit.render(),
+            ]
+        ) + "\n"
+
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text)
+        print(f"[flame output: {out}]", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _flame_site_pairs(agg, payload, fmt_bytes, table_cls) -> str:
+    matrix = agg.site_pair_matrix(payload)
+    table = table_cls(
+        [
+            "site pair",
+            "transfers",
+            "bytes",
+            "transmit s",
+            "retransmits",
+            "handshakes",
+            "handshake s",
+        ],
+        title="WAN-time matrix (site-tagged tcp.transmit / rndv spans)",
+    )
+    for pair in sorted(matrix):
+        cell = matrix[pair]
+        table.add_row(
+            [
+                f"{pair[0]} -> {pair[1]}",
+                cell.transfers,
+                fmt_bytes(cell.bytes),
+                f"{cell.transmit_ticks / 1e6:.3f}",
+                cell.retransmits,
+                cell.handshakes,
+                f"{cell.handshake_ticks / 1e6:.3f}",
+            ]
+        )
+    return table.render()
 
 
 def _cmd_profile(args) -> int:
@@ -593,6 +742,8 @@ def main(argv=None) -> int:
         return _cmd_query(args)
     if args.command == "explain":
         return _cmd_explain(args)
+    if args.command == "flame":
+        return _cmd_flame(args)
     if args.command == "profile":
         return _cmd_profile(args)
 

@@ -204,7 +204,7 @@ def allreduce_hierarchical(comm, tag: int, nbytes: int, payload: Any, op):
     t_lan = comm.env.now
     result = yield from local_reduce(comm, tag, layout, nbytes, payload, op)
     if len(layout.local) > 1:
-        hier_span(comm, "allreduce", "lan", t_lan, nbytes)
+        hier_span(comm, "allreduce", "lan", t_lan, nbytes, layout)
 
     # Phase 2 (WAN): every leader sends its partial to every other leader
     # and combines what it receives in leader-election order — the same
@@ -227,11 +227,11 @@ def allreduce_hierarchical(comm, tag: int, nbytes: int, payload: Any, op):
         result = partials[layout.leaders[0]]
         for leader in layout.leaders[1:]:
             result = op(result, partials[leader])
-        hier_span(comm, "allreduce", "wan", t_wan, nbytes)
+        hier_span(comm, "allreduce", "wan", t_wan, nbytes, layout)
 
     # Phase 3 (LAN): leaders broadcast the total within their site.
     t_out = comm.env.now
     result = yield from local_bcast(comm, tag, layout, nbytes, result)
     if len(layout.local) > 1:
-        hier_span(comm, "allreduce", "lan", t_out, nbytes)
+        hier_span(comm, "allreduce", "lan", t_out, nbytes, layout)
     return result

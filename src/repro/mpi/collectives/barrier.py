@@ -49,7 +49,7 @@ def barrier_hierarchical(comm, tag: int):
     t_lan = comm.env.now
     yield from local_gather(comm, tag, layout, 1, None)
     if len(layout.local) > 1:
-        hier_span(comm, "barrier", "lan", t_lan, 1)
+        hier_span(comm, "barrier", "lan", t_lan, 1, layout)
 
     # Phase 2 (WAN): leaders check in with the coordinator and wait for
     # the release — everyone has arrived once the coordinator has heard
@@ -66,10 +66,10 @@ def barrier_hierarchical(comm, tag: int):
         else:
             yield from comm._csend(coordinator, 1, None, tag)
             yield from comm._crecv(coordinator, tag)
-        hier_span(comm, "barrier", "wan", t_wan, 1)
+        hier_span(comm, "barrier", "wan", t_wan, 1, layout)
 
     # Phase 3 (LAN): leaders release their site.
     t_out = comm.env.now
     yield from local_bcast(comm, tag, layout, 1, None)
     if len(layout.local) > 1:
-        hier_span(comm, "barrier", "lan", t_out, 1)
+        hier_span(comm, "barrier", "lan", t_out, 1, layout)

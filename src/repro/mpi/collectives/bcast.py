@@ -170,11 +170,11 @@ def bcast_hierarchical(comm, tag: int, root: int, nbytes: int, payload: Any):
     elif layout.is_leader:
         payload, _ = yield from comm._crecv(root, tag)
     if layout.is_leader:
-        hier_span(comm, "bcast", "wan", t_wan, nbytes)
+        hier_span(comm, "bcast", "wan", t_wan, nbytes, layout)
 
     # Phase 2: leader -> local ranks (binomial within the cluster).
     t_lan = comm.env.now
     if len(layout.local) > 1:
         payload = yield from local_bcast(comm, tag, layout, nbytes, payload)
-        hier_span(comm, "bcast", "lan", t_lan, nbytes)
+        hier_span(comm, "bcast", "lan", t_lan, nbytes, layout)
     return payload

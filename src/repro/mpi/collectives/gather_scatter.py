@@ -64,7 +64,7 @@ def gather_hierarchical(comm, tag: int, root: int, nbytes_each: int, payload: An
     t_lan = comm.env.now
     bundle = yield from local_gather(comm, tag, layout, nbytes_each, payload)
     if len(layout.local) > 1:
-        hier_span(comm, "gather", "lan", t_lan, nbytes_each)
+        hier_span(comm, "gather", "lan", t_lan, nbytes_each, layout)
 
     # Phase 2 (WAN): non-root leaders ship their whole site bundle to the
     # root (its own site's leader) in leader-election order.
@@ -77,7 +77,7 @@ def gather_hierarchical(comm, tag: int, root: int, nbytes_each: int, payload: An
     elif layout.is_leader:
         yield from comm._csend(root, nbytes_each * len(bundle), bundle, tag)
     if layout.is_leader:
-        hier_span(comm, "gather", "wan", t_wan, nbytes_each)
+        hier_span(comm, "gather", "wan", t_wan, nbytes_each, layout)
     if rank != root:
         return None
     return [bundle[r] for r in range(size)]

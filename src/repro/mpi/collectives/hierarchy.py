@@ -79,8 +79,15 @@ def site_layout(comm, root: int = 0) -> SiteLayout:
     )
 
 
-def hier_span(comm, op: str, phase: str, t_start, nbytes: int) -> None:
-    """Record one ``coll.<op>.hier.<phase>`` span on this rank's lane."""
+def hier_span(
+    comm, op: str, phase: str, t_start, nbytes: int, layout: SiteLayout
+) -> None:
+    """Record one ``coll.<op>.hier.<phase>`` span on this rank's lane.
+
+    The ``sites`` arg (how many WAN endpoints the phase spans) lets the
+    span-analytics layer relate hierarchical-phase cost to topology
+    fan-out without re-deriving the election.
+    """
     sess = _obs.ACTIVE
     if sess is None or not sess.spans:
         return
@@ -90,7 +97,7 @@ def hier_span(comm, op: str, phase: str, t_start, nbytes: int) -> None:
         f"coll.{op}.hier.{phase}",
         "mpi.collective.phase",
         f"rank{comm.rank}",
-        {"bytes": nbytes},
+        {"bytes": nbytes, "sites": len(layout.leaders)},
     )
 
 

@@ -46,7 +46,7 @@ def reduce_hierarchical(comm, tag: int, root: int, nbytes: int, payload: Any, op
     t_lan = comm.env.now
     partial = yield from local_reduce(comm, tag, layout, nbytes, payload, op)
     if len(layout.local) > 1:
-        hier_span(comm, "reduce", "lan", t_lan, nbytes)
+        hier_span(comm, "reduce", "lan", t_lan, nbytes, layout)
 
     # Phase 2 (WAN): non-root leaders hand their site partial to the root
     # (which leads its own site), combined in leader-election order.
@@ -59,5 +59,5 @@ def reduce_hierarchical(comm, tag: int, root: int, nbytes: int, payload: Any, op
     elif layout.is_leader:
         yield from comm._csend(root, nbytes, partial, tag)
     if layout.is_leader:
-        hier_span(comm, "reduce", "wan", t_wan, nbytes)
+        hier_span(comm, "reduce", "wan", t_wan, nbytes, layout)
     return partial if rank == root else None

@@ -81,6 +81,13 @@ class Protocol:
         self._seq[key] = seq + 1
         return seq
 
+    def _sites(self, src: int, dst: int) -> dict:
+        """Site-pair args for a span between two ranks."""
+        return {
+            "src_site": self.transport.node_of(src).cluster.name,
+            "dst_site": self.transport.node_of(dst).cluster.name,
+        }
+
     # -- the send path ---------------------------------------------------------------
     def send(
         self,
@@ -110,6 +117,12 @@ class Protocol:
         sess = _obs.ACTIVE
         t_post = env.now
         lane = f"rank{src}->{dst}"
+        if sess is not None and sess.spans:
+            # Site-pair tags feed the WAN-time matrix (obs/aggregate.py);
+            # resolved once per send, only while spans are recorded.
+            sites = self._sites(src, dst)
+        else:
+            sites = None
         if sess is not None and sess.metrics:
             eager = nbytes <= impl.eager_threshold
             sess.count(
@@ -171,7 +184,7 @@ class Protocol:
                 "rndv.announce",
                 "mpi.rndv",
                 lane,
-                {"bytes": nbytes, "tag": tag},
+                {"bytes": nbytes, "tag": tag, **sites},
             )
         yield ack  # fires when the receiver's acknowledgement reaches us
         if sess is not None:
@@ -185,7 +198,7 @@ class Protocol:
                     "rndv.handshake",
                     "mpi.rndv",
                     lane,
-                    {"bytes": nbytes, "tag": tag},
+                    {"bytes": nbytes, "tag": tag, **sites},
                 )
             if sess.metrics:
                 sess.count("mpi.rndv_handshakes", impl=impl.name, wan=link.inter_site)
@@ -204,7 +217,7 @@ class Protocol:
                 "rndv.data",
                 "mpi.rndv",
                 lane,
-                {"bytes": nbytes, "tag": tag},
+                {"bytes": nbytes, "tag": tag, **sites},
             )
 
         def complete():
@@ -233,7 +246,7 @@ class Protocol:
                     "rndv.ack",
                     "mpi.rndv",
                     f"rank{envelope.dst}->{envelope.src}",
-                    {"bytes": envelope.nbytes},
+                    {"bytes": envelope.nbytes, **self._sites(envelope.dst, envelope.src)},
                 )
 
         self.env.process(responder())

@@ -145,6 +145,21 @@ class MpiJob:
         finish_times = [float("nan")] * self.nprocs
         returns: list[Any] = [None] * self.nprocs
 
+        sess = _obs.ACTIVE
+        if sess is not None and sess.spans:
+            # Episode marker: every job restarts the virtual clock at zero,
+            # so spans of consecutive jobs on one track overlap in time.
+            # The aggregation layer (obs/aggregate.py) splits a track's
+            # record stream at these instants and attributes each episode
+            # to the implementation named here.
+            sess.instant(
+                0.0,
+                "mpi.job.begin",
+                "mpi",
+                "job",
+                {"impl": self.impl.name, "nprocs": self.nprocs},
+            )
+
         def wrapper(rank: int):
             value = yield from program(self.contexts[rank])
             finish_times[rank] = env.now

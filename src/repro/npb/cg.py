@@ -23,6 +23,7 @@ from repro.mpi.constants import SUM
 from repro.npb.common import (
     PROBLEM,
     per_rank_flops,
+    phase,
     sampled_loop,
     validate_config,
     verify_rng,
@@ -57,9 +58,7 @@ def make_program(cls: str, nprocs: int, sample_iters=None):
         # transpose partner (exchange_proc in the NPB source)
         transpose = (rank % nprows) * npcols + rank // nprows if nprows == npcols else rank
 
-        def inner_iteration():
-            # sparse matvec + vector updates
-            yield from ctx.compute(flops_per_inner)
+        def row_reduce():
             # row-wise reduction of the partial matvec result
             step = 1
             while step < npcols:
@@ -67,9 +66,12 @@ def make_program(cls: str, nprocs: int, sample_iters=None):
                 if partner != rank:
                     yield from comm.sendrecv(partner, vec_bytes, src=partner)
                 step <<= 1
-            # transpose exchange
+
+        def transpose_exchange():
             if transpose != rank:
                 yield from comm.sendrecv(transpose, vec_bytes, src=transpose)
+
+        def dot_products():
             # two dot products (rho, and p.q): log2(npcols) 8 B exchanges each
             for _ in range(2):
                 step = 1
@@ -79,11 +81,21 @@ def make_program(cls: str, nprocs: int, sample_iters=None):
                         yield from comm.sendrecv(partner, 8, src=partner)
                     step <<= 1
 
+        def inner_iteration():
+            # sparse matvec + vector updates
+            yield from phase(ctx, "compute", ctx.compute(flops_per_inner))
+            yield from phase(ctx, "row_reduce", row_reduce())
+            yield from phase(ctx, "transpose", transpose_exchange())
+            yield from phase(ctx, "dot_products", dot_products())
+
+        def residual():
+            # ||r|| for the residual report: one more 8 B reduction
+            yield from comm.allreduce(0.0, nbytes=8, op=SUM)
+
         def outer_iteration(_it):
             for _ in range(CGITMAX + 1):
                 yield from inner_iteration()
-            # ||r|| for the residual report: one more 8 B reduction
-            yield from comm.allreduce(0.0, nbytes=8, op=SUM)
+            yield from phase(ctx, "residual", residual())
 
         yield from sampled_loop(ctx, niter, sample_iters, outer_iteration)
 

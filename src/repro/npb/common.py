@@ -15,6 +15,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.obs import runtime as _obs
 from repro.sim.rng import RngRegistry
 
 #: master seed of every verify-mode problem-data stream
@@ -209,6 +210,36 @@ def sampled_loop(ctx, total_iters: int, sample_iters: Optional[int], body: Calla
     if remaining > 0 and n > 0:
         elapsed = ctx.wtime() - start
         yield from ctx.compute_time(elapsed / n * remaining)
+
+
+def phase(ctx, name: str, body):
+    """Wrap generator ``body`` in an ``npb.phase.<name>`` span.
+
+    Call as ``yield from phase(ctx, "transpose", transpose())``.  With
+    telemetry off this returns ``body`` untouched — the caller delegates
+    straight into it, no wrapper frame, no record.  With spans on, the
+    phase is timed on this rank's lane; the span is recorded only when
+    the body runs to completion (an abandoned generator records nothing,
+    so a timed-out job never emits a partial phase).
+    """
+    sess = _obs.ACTIVE
+    if sess is None or not sess.spans:
+        return body
+    return _traced_phase(ctx, name, body, sess)
+
+
+def _traced_phase(ctx, name: str, body, sess):
+    t_start = ctx.env.now
+    result = yield from body
+    sess.complete(
+        t_start,
+        ctx.env.now - t_start,
+        f"npb.phase.{name}",
+        "npb.phase",
+        f"rank{ctx.rank}",
+        None,
+    )
+    return result
 
 
 def per_rank_flops(name: str, cls: str, nprocs: int) -> float:

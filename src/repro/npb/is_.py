@@ -18,6 +18,7 @@ from repro.mpi.constants import SUM
 from repro.npb.common import (
     PROBLEM,
     per_rank_flops,
+    phase,
     sampled_loop,
     validate_config,
     verify_rng,
@@ -39,20 +40,32 @@ def make_program(cls: str, nprocs: int, sample_iters=None):
     def program(ctx):
         comm = ctx.comm
 
-        def iteration(_it):
-            # local counting
-            yield from ctx.compute(flops_per_iter)
+        def control():
             # small control histogram
             yield from comm.allreduce(None, nbytes=4 * NUM_BUCKETS, op=SUM)
+
+        def density():
             # key-density reduction: the dominant collective (Table 2)
             yield from comm.allreduce(None, nbytes=density_bytes, op=SUM)
+
+        def redistribute():
             # key redistribution (uniform keys: balanced alltoallv)
             sizes = [key_bytes_per_pair] * comm.size
             yield from comm.alltoallv(sizes)
 
+        def iteration(_it):
+            # local counting
+            yield from phase(ctx, "compute", ctx.compute(flops_per_iter))
+            yield from phase(ctx, "control", control())
+            yield from phase(ctx, "density", density())
+            yield from phase(ctx, "redistribute", redistribute())
+
+        def residual():
+            # full verification: ranking check via one more small allreduce
+            yield from comm.allreduce(0.0, nbytes=8, op=SUM)
+
         yield from sampled_loop(ctx, niter, sample_iters, iteration)
-        # full verification: ranking check via one more small allreduce
-        yield from comm.allreduce(0.0, nbytes=8, op=SUM)
+        yield from phase(ctx, "residual", residual())
 
     return program
 

@@ -15,6 +15,7 @@ from repro.npb.common import (
     PROBLEM,
     grid_3d,
     per_rank_flops,
+    phase,
     sampled_loop,
     validate_config,
     verify_rng,
@@ -75,18 +76,27 @@ def make_program(cls: str, nprocs: int, sample_iters=None):
                 yield from comm.sendrecv(plus, nbytes, src=minus)
                 yield from comm.sendrecv(minus, nbytes, src=plus)
 
-        def iteration(_it):
+        def exchange_down():
             # downward: residual + restriction at each level
             for level in reversed(range(levels)):
                 yield from exchange(level)
+
+        def exchange_up():
             # upward: interpolation + smoothing at each level
             for level in range(levels):
                 yield from exchange(level)
-            yield from ctx.compute(flops_per_iter)
+
+        def iteration(_it):
+            yield from phase(ctx, "exchange_down", exchange_down())
+            yield from phase(ctx, "exchange_up", exchange_up())
+            yield from phase(ctx, "compute", ctx.compute(flops_per_iter))
+
+        def residual():
+            # final L2 norm of the residual
+            yield from comm.allreduce(0.0, nbytes=8)
 
         yield from sampled_loop(ctx, nit, sample_iters, iteration)
-        # final L2 norm of the residual
-        yield from comm.allreduce(0.0, nbytes=8)
+        yield from phase(ctx, "residual", residual())
 
     return program
 

@@ -17,7 +17,13 @@ timeout"); the suite honours ``impl.known_failures`` for this.
 
 from __future__ import annotations
 
-from repro.npb.common import PROBLEM, per_rank_flops, sampled_loop, validate_config
+from repro.npb.common import (
+    PROBLEM,
+    per_rank_flops,
+    phase,
+    sampled_loop,
+    validate_config,
+)
 
 
 def _make_program(name: str, cls: str, nprocs: int, sample_iters=None):
@@ -94,15 +100,17 @@ def _make_program(name: str, cls: str, nprocs: int, sample_iters=None):
                 yield from comm.send(pred, backsub_bytes, tag=3)
 
         def iteration(_it):
-            yield from copy_faces()
-            yield from line_solve("x")
-            yield from line_solve("y")
-            yield from line_solve("z")
-            yield from ctx.compute(flops_per_iter / 2)
+            yield from phase(ctx, "copy_faces", copy_faces())
+            for axis in ("x", "y", "z"):
+                yield from phase(ctx, f"line_solve_{axis}", line_solve(axis))
+            yield from phase(ctx, "compute", ctx.compute(flops_per_iter / 2))
+
+        def residual():
+            # final residual norms
+            yield from comm.allreduce(None, nbytes=40)
 
         yield from sampled_loop(ctx, niter, sample_iters, iteration)
-        # final residual norms
-        yield from comm.allreduce(None, nbytes=40)
+        yield from phase(ctx, "residual", residual())
 
     return program
 

@@ -29,7 +29,20 @@ _ALLOWED_PHASES = {"X", "i", "C", "M"}
 # --- Chrome trace ----------------------------------------------------------------
 def chrome_trace(payload: dict, label: str = "") -> dict:
     """Build the Chrome trace-event document for a telemetry payload."""
-    events: list[dict[str, Any]] = []
+    events: list[dict[str, Any]] = [
+        # Document-level metadata event, emitted unconditionally: a traced
+        # run that happened to record no spans (telemetry on, nothing
+        # instrumented fired) still exports a *valid* non-empty document
+        # instead of one Perfetto and validate_chrome_trace reject.
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "ts": 0,
+            "name": "trace_label",
+            "args": {"producer": "repro.obs", "label": label, "schema": EXPORT_SCHEMA},
+        }
+    ]
     tracks = payload.get("tracks", {})
     for pid, track_name in enumerate(sorted(tracks), start=1):
         data = tracks[track_name]

@@ -14,6 +14,12 @@ say about the mechanism:
   start.  The report replays the 1 MB message stream per stack and lines
   up the congestion-window samples, slow-start exit times and loss
   counts next to the time each stack needs to reach 500 Mbps.
+* **fig10** — where the grid's NPB slowdown lives.  The report replays
+  the Figure 12 campaign (grid16 *and* cluster16, all implementations)
+  with spans on and aggregates the new ``npb.phase.*`` instrumentation
+  into a phase × placement breakdown plus the per-site-pair WAN-time
+  matrix (``repro.obs.aggregate``): which phase of each kernel blows up
+  on the grid, and which site pair's wire time pays for it.
 * **coll_hier** — why the site-hierarchical collectives win (and where
   they don't): per-call WAN-crossing and WAN-byte counts for the flat
   and hierarchical variants, from the message trace of the ``coll_hier``
@@ -36,17 +42,21 @@ _FIG7_SIZES_FAST = (64 * KB, 128 * KB, 256 * KB, 1 * MB)
 _FIG7_SIZES_FULL = (32 * KB, 64 * KB, 128 * KB, 256 * KB, 512 * KB, 1 * MB, 4 * MB)
 
 
-def explain(figure: str, fast: bool = True) -> str:
-    """Render the diagnosis report for ``figure`` (``fig7``, ``fig9`` or
-    ``coll_hier``)."""
+def explain(figure: str, fast: bool = True, jobs: int = 1) -> str:
+    """Render the diagnosis report for ``figure`` (``fig7``, ``fig9``,
+    ``fig10`` or ``coll_hier``).  ``jobs`` parallelises the fig10
+    diagnosis campaign (the report is byte-identical for any value)."""
     if figure == "fig7":
         return explain_fig7(fast=fast)
     if figure == "fig9":
         return explain_fig9(fast=fast)
+    if figure == "fig10":
+        return explain_fig10(fast=fast, jobs=jobs)
     if figure == "coll_hier":
         return explain_coll_hier(fast=fast)
     raise ReproError(
-        f"no diagnosis report for {figure!r} (available: fig7, fig9, coll_hier)"
+        f"no diagnosis report for {figure!r} "
+        "(available: fig7, fig9, fig10, coll_hier)"
     )
 
 
@@ -229,6 +239,147 @@ def explain_fig9(fast: bool = True) -> str:
         y_label="kB",
     )
     return "\n".join([header, "", table.render(), "", chart])
+
+
+#: the NPB kernels carrying ``npb.phase.*`` instrumentation
+_FIG10_BENCHES = ("cg", "mg", "sp", "bt", "is")
+
+
+def explain_fig10(fast: bool = True, jobs: int = 1, payload=None) -> str:
+    """Where the grid's NPB slowdown lives: phase × site-pair aggregates.
+
+    ``payload`` short-circuits the campaign (tests inject a pre-collected
+    one); otherwise the fig12 experiment — grid16 and cluster16, every
+    implementation — runs under the campaign runner with spans on.  The
+    rendered report is a pure function of the merged payload, hence
+    byte-identical serial vs ``--jobs N``.
+    """
+    from repro.obs import aggregate as _agg
+
+    if payload is None:
+        from repro.obs.flame import experiment_payload
+
+        payload = experiment_payload("fig12", fast=fast, jobs=jobs)
+
+    phase_totals = _agg.npb_phase_totals(payload)
+
+    def bench_phases(placement: str, bench: str) -> dict[str, int]:
+        track = f"npb/{placement}/{bench}"
+        merged: dict[str, int] = {}
+        for (tr, _impl, phase), t in phase_totals.items():
+            if tr == track:
+                merged[phase] = merged.get(phase, 0) + t
+        return merged
+
+    table = Table(
+        [
+            "bench",
+            "phase",
+            "grid s",
+            "grid share",
+            "cluster s",
+            "grid/cluster",
+        ],
+        title="Fig. 10 explained: NPB phase breakdown, grid16 vs cluster16",
+    )
+    dominant: dict[str, tuple[str, int, int]] = {}  # bench -> (phase, ticks, total)
+    for bench in _FIG10_BENCHES:
+        grid = bench_phases("grid16", bench)
+        cluster = bench_phases("cluster16", bench)
+        total = sum(grid.values())
+        if not total:
+            continue
+        for phase in sorted(grid, key=lambda p: (-grid[p], p)):
+            g, c = grid[phase], cluster.get(phase, 0)
+            table.add_row(
+                [
+                    bench,
+                    phase,
+                    f"{g / 1e6:.3f}",
+                    f"{100.0 * g / total:.1f}%",
+                    f"{c / 1e6:.3f}",
+                    f"x{g / c:.2f}" if c else "-",
+                ]
+            )
+        top = max(grid, key=lambda p: (grid[p], p))
+        dominant[bench] = (top, grid[top], total)
+
+    grid_tracks = {
+        track for track in payload.get("tracks", {}) if track.startswith("npb/grid16/")
+    }
+    matrix = _agg.site_pair_matrix(payload, tracks=grid_tracks)
+    wall = {
+        pair: cell.transmit_ticks + cell.handshake_ticks
+        for pair, cell in matrix.items()
+    }
+    total_wall = sum(wall.values())
+    wan_table = Table(
+        [
+            "site pair",
+            "transfers",
+            "bytes",
+            "transmit s",
+            "retransmits",
+            "handshakes",
+            "handshake s",
+            "wall share",
+        ],
+        title="WAN-time matrix (grid16, all implementations)",
+    )
+    for pair in sorted(matrix, key=lambda p: (-wall[p], p)):
+        cell = matrix[pair]
+        wan_table.add_row(
+            [
+                f"{pair[0]} -> {pair[1]}",
+                cell.transfers,
+                fmt_bytes(cell.bytes),
+                f"{cell.transmit_ticks / 1e6:.3f}",
+                cell.retransmits,
+                cell.handshakes,
+                f"{cell.handshake_ticks / 1e6:.3f}",
+                f"{100.0 * wall[pair] / total_wall:.1f}%" if total_wall else "-",
+            ]
+        )
+
+    header = (
+        "The paper's Fig. 10/12 story: on the 8+8 grid the NPB kernels pay\n"
+        "for every inter-site message.  The phase spans below say *where*:\n"
+        "per kernel, the rank-time of each phase (summed over ranks and\n"
+        "implementations, in virtual seconds) on the grid versus the same\n"
+        "16 ranks in one cluster.  The WAN matrix then prices the wire: the\n"
+        "window-limited transfer time, congestion losses and rendezvous\n"
+        "handshakes per (source site -> destination site) pair:"
+    )
+
+    lines = []
+    for bench in _FIG10_BENCHES:
+        if bench not in dominant:
+            continue
+        phase, t, total = dominant[bench]
+        lines.append(
+            f"* {bench}: dominant phase '{phase}' "
+            f"({100.0 * t / total:.1f}% of {total / 1e6:.3f} s rank-time)"
+        )
+    if dominant:
+        all_bench, (all_phase, all_ticks, _) = max(
+            dominant.items(), key=lambda kv: (kv[1][1], kv[0])
+        )
+        grand_total = sum(total for _, _, total in dominant.values())
+        lines.append(
+            f"* dominant phase overall: {all_bench} '{all_phase}' "
+            f"({100.0 * all_ticks / grand_total:.1f}% of all instrumented "
+            f"rank-time, {all_ticks / 1e6:.3f} s)"
+        )
+    wan_pairs = {p: w for p, w in wall.items() if p[0] != p[1]}
+    if wan_pairs and total_wall:
+        top_pair = max(wan_pairs, key=lambda p: (wan_pairs[p], p))
+        lines.append(
+            f"* top WAN site pair: {top_pair[0]} -> {top_pair[1]} "
+            f"({100.0 * wan_pairs[top_pair] / total_wall:.1f}% of all "
+            f"tracked wire time, {wan_pairs[top_pair] / 1e6:.3f} s)"
+        )
+    footer = "Diagnosis:\n" + "\n".join(lines)
+    return "\n".join([header, "", table.render(), "", wan_table.render(), "", footer])
 
 
 def explain_coll_hier(fast: bool = True) -> str:

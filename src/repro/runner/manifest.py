@@ -67,6 +67,9 @@ def campaign_entry(campaign: "CampaignResult", label: str = "") -> dict[str, Any
                     if run.shared_with
                     else {}
                 ),
+                # Span-analytics roll-up of a traced run: span count, top
+                # self-tick frames, WAN site-pair totals (repro.obs).
+                **({"rollup": run.rollup} if run.rollup else {}),
             }
             for run in campaign.runs
         },

@@ -135,6 +135,11 @@ class ExperimentRun:
     #: :meth:`artifact`: telemetry runs bypass the result cache, and the
     #: cached/golden artifacts must stay byte-identical either way.
     telemetry: Optional[dict] = None
+    #: compact span-analytics summary (``repro.obs.aggregate.rollup``)
+    #: derived from ``telemetry``; recorded into the campaign manifest so
+    #: traced campaigns leave a greppable footprint of where the ticks
+    #: went.  Like ``telemetry``, never part of :meth:`artifact`.
+    rollup: Optional[dict] = None
 
     def artifact(self) -> dict[str, Any]:
         """The structured JSON artifact stored in the cache / out dir."""
@@ -866,6 +871,12 @@ def run_campaign(
             runs.update(parallel_runs)
 
     ordered = [runs[spec.key] for spec in specs]
+    if telemetry is not None and telemetry.spans:
+        from repro.obs.aggregate import rollup as span_rollup
+
+        for run in ordered:
+            if run.telemetry is not None:
+                run.rollup = span_rollup(run.telemetry)
     elapsed = time.monotonic() - started  # lint: disable=DET002
     campaign = CampaignResult(
         runs=ordered,

@@ -167,12 +167,16 @@ class _Direction:
         dst_sysctl: SysctlConfig,
         options: TcpOptions,
         name: str,
+        sites: tuple[str, str] = ("", ""),
     ):
         self.env = env
         self.fluid = fluid
         self.route = route
         self.options = options
         self.name = name
+        #: endpoint cluster names, data direction: the span-analytics layer
+        #: (obs/aggregate.py) keys its WAN-time matrix on this pair.
+        self.src_site, self.dst_site = sites
         self.sndbuf, self.rcvbuf = effective_buffers(
             options.buffer_policy, src_sysctl, dst_sysctl
         )
@@ -365,6 +369,7 @@ class _Direction:
                     rate_cap_bps=window * 8.0 / self.rtt,
                 )
                 sent_cap = window * 8.0 / self.rtt
+                losses_before = self.stats.losses
                 while not flow.done.triggered:
                     # The congestion window only evolves while it is the
                     # binding constraint (congestion window validation);
@@ -396,7 +401,13 @@ class _Direction:
                         "tcp.transmit",
                         "tcp",
                         self.name,
-                        {"bytes": nbytes, "window_limited": True},
+                        {
+                            "bytes": nbytes,
+                            "window_limited": True,
+                            "src_site": self.src_site,
+                            "dst_site": self.dst_site,
+                            "retransmits": self.stats.losses - losses_before,
+                        },
                     )
             self._activity[0] = env.now
             arrival = (
@@ -438,11 +449,11 @@ class TcpConnection:
         self.name = name or f"tcp:{a.name}<->{b.name}"
         self.forward = _Direction(
             env, fluid, network.route(a, b), sysctl_a, sysctl_b, options,
-            f"{self.name}:fwd",
+            f"{self.name}:fwd", (a.cluster.name, b.cluster.name),
         )
         self.backward = _Direction(
             env, fluid, network.route(b, a), sysctl_b, sysctl_a, options,
-            f"{self.name}:rev",
+            f"{self.name}:rev", (b.cluster.name, a.cluster.name),
         )
         # One socket pair: activity in either direction keeps it warm.
         self.backward._activity = self.forward._activity
